@@ -1,0 +1,62 @@
+// Ablation A1: multiplexing degree sweep. How does the number of TDM slots
+// K affect dynamic and preloaded switching on the mesh and all-to-all
+// patterns? (Section 2's tradeoff: K must cover the working set, but every
+// extra populated slot dilutes per-connection bandwidth.)
+//
+// Usage: bench_ablation_mux [--nodes N] [--bytes B]
+
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "traffic/patterns.hpp"
+
+int main(int argc, char** argv) {
+  std::size_t nodes = 64;
+  std::uint64_t bytes = 512;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      nodes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--bytes") == 0 && i + 1 < argc) {
+      bytes = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+
+  struct NamedWorkload {
+    std::string name;
+    pmx::Workload workload;
+  };
+  const std::vector<NamedWorkload> workloads{
+      {"random-mesh", pmx::patterns::random_mesh(nodes, bytes, 2, 7)},
+      {"all-to-all", pmx::patterns::all_to_all(nodes, bytes)},
+      {"uniform", pmx::patterns::uniform_random(nodes, bytes, 8, 7)},
+  };
+
+  std::cout << "Ablation A1: efficiency vs multiplexing degree K (" << nodes
+            << " nodes, " << bytes << "-byte messages)\n";
+  for (const auto& [name, workload] : workloads) {
+    pmx::Table table({"K", "dynamic-tdm", "preload-tdm"});
+    for (const std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+      std::vector<std::string> row{pmx::Table::fmt(
+          static_cast<std::uint64_t>(k))};
+      for (const auto kind :
+           {pmx::SwitchKind::kDynamicTdm, pmx::SwitchKind::kPreloadTdm}) {
+        pmx::RunConfig config;
+        config.params.num_nodes = nodes;
+        config.params.mux_degree = k;
+        config.kind = kind;
+        config.multi_slot_connections = true;
+        const auto result = pmx::run_workload(config, workload);
+        row.push_back(result.completed
+                          ? pmx::Table::fmt(result.metrics.efficiency, 3)
+                          : std::string("DNF"));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << "\n== " << name << " ==\n";
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation A3: eviction predictor policy (Section 3.2). Compares
+// no-prediction (release on request drop), the paper's time-out predictor
+// at several horizons, the usage-counter predictor, and never-evict, on
+// workloads with different reuse behaviour.
+//
+// Usage: bench_ablation_predictor [--nodes N] [--bytes B]
+
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "traffic/patterns.hpp"
+
+namespace {
+
+struct PredictorSetup {
+  std::string label;
+  pmx::PredictorKind kind;
+  std::int64_t timeout_ns = 0;
+  std::uint64_t threshold = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t nodes = 64;
+  std::uint64_t bytes = 256;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      nodes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--bytes") == 0 && i + 1 < argc) {
+      bytes = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+
+  const std::vector<PredictorSetup> predictors{
+      {"none", pmx::PredictorKind::kNone, 0, 0},
+      {"timeout-100", pmx::PredictorKind::kTimeout, 100, 0},
+      {"timeout-200", pmx::PredictorKind::kTimeout, 200, 0},
+      {"timeout-800", pmx::PredictorKind::kTimeout, 800, 0},
+      {"phase-200", pmx::PredictorKind::kPhase, 200, 0},
+      {"counter-64", pmx::PredictorKind::kCounter, 0, 64},
+      {"counter-512", pmx::PredictorKind::kCounter, 0, 512},
+      {"never-evict", pmx::PredictorKind::kNeverEvict, 0, 0},
+  };
+
+  struct NamedWorkload {
+    std::string name;
+    pmx::Workload workload;
+  };
+  const std::vector<NamedWorkload> workloads{
+      {"scatter", pmx::patterns::scatter(nodes, bytes)},
+      {"random-mesh", pmx::patterns::random_mesh(nodes, bytes, 2, 7)},
+      {"two-phase", pmx::patterns::two_phase(nodes, bytes, 7)},
+  };
+
+  std::cout << "Ablation A3: eviction predictor policy (" << nodes
+            << " nodes, " << bytes
+            << "-byte messages, dynamic TDM K=4)\n\n";
+  std::vector<std::string> headers{"predictor"};
+  for (const auto& [name, workload] : workloads) {
+    headers.push_back(name);
+  }
+  pmx::Table table(std::move(headers));
+  for (const auto& p : predictors) {
+    std::vector<std::string> row{p.label};
+    for (const auto& [name, workload] : workloads) {
+      pmx::RunConfig config;
+      config.params.num_nodes = nodes;
+      config.kind = pmx::SwitchKind::kDynamicTdm;
+      config.predictor = p.kind;
+      if (p.timeout_ns > 0) {
+        config.predictor_timeout = pmx::TimeNs{p.timeout_ns};
+      }
+      if (p.threshold > 0) {
+        config.predictor_threshold = p.threshold;
+      }
+      config.multi_slot_connections = true;
+      const auto result = pmx::run_workload(config, workload);
+      row.push_back(result.completed
+                        ? pmx::Table::fmt(result.metrics.efficiency, 3)
+                        : std::string("DNF"));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation A2: slot length and guard band. The guard band (fabric
+// reconfiguration + grant-line skew, Section 4) is a fixed tax per slot:
+// longer slots amortize it but coarsen the multiplexing granularity.
+//
+// Usage: bench_ablation_slot [--nodes N] [--bytes B]
+
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "traffic/patterns.hpp"
+
+int main(int argc, char** argv) {
+  std::size_t nodes = 64;
+  std::uint64_t bytes = 512;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      nodes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--bytes") == 0 && i + 1 < argc) {
+      bytes = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  const pmx::Workload workload =
+      pmx::patterns::random_mesh(nodes, bytes, 2, 7);
+
+  std::cout << "Ablation A2: efficiency vs slot length and guard band ("
+            << nodes << " nodes, random mesh, " << bytes
+            << "-byte messages, dynamic TDM K=4)\n\n";
+  pmx::Table table({"slot(ns)", "guard(ns)", "payload(B)", "efficiency"});
+  for (const std::int64_t slot : {50, 100, 200, 400, 1000}) {
+    for (const std::int64_t guard : {0L, slot / 10, slot / 5, slot * 2 / 5}) {
+      pmx::RunConfig config;
+      config.params.num_nodes = nodes;
+      config.params.slot_length = pmx::TimeNs{slot};
+      config.params.guard_band = pmx::TimeNs{guard};
+      config.kind = pmx::SwitchKind::kDynamicTdm;
+      config.multi_slot_connections = true;
+      const auto result = pmx::run_workload(config, workload);
+      table.add_row(
+          {pmx::Table::fmt(slot), pmx::Table::fmt(guard),
+           pmx::Table::fmt(config.params.slot_payload_bytes()),
+           result.completed ? pmx::Table::fmt(result.metrics.efficiency, 3)
+                            : std::string("DNF")});
+    }
+  }
+  table.print(std::cout);
+
+  // Second sweep: end-to-end flow control. How fast must the receiving
+  // processor drain its input buffer before backpressure stops mattering?
+  std::cout << "\nEnd-to-end flow control: receive buffer & drain rate "
+               "(same workload)\n\n";
+  pmx::Table flow({"buffer(B)", "drain(B/slot)", "efficiency",
+                   "backpressure stalls"});
+  for (const std::uint64_t buffer : {128ULL, 256ULL, 1024ULL}) {
+    for (const std::uint64_t drain : {16ULL, 32ULL, 64ULL}) {
+      pmx::RunConfig config;
+      config.params.num_nodes = nodes;
+      config.kind = pmx::SwitchKind::kDynamicTdm;
+      config.multi_slot_connections = true;
+      config.receiver_buffer_bytes = buffer;
+      config.receiver_drain_per_slot = drain;
+      const auto result = pmx::run_workload(config, workload);
+      flow.add_row(
+          {pmx::Table::fmt(buffer), pmx::Table::fmt(drain),
+           result.completed ? pmx::Table::fmt(result.metrics.efficiency, 3)
+                            : std::string("DNF"),
+           pmx::Table::fmt(result.counter("backpressure_stalls"))});
+    }
+  }
+  flow.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Figure 4 reproduction: bandwidth efficiency vs message size (8..2048 B)
+// for the four test patterns (Scatter, Random Mesh, Ordered Mesh, Two Phase)
+// under Wormhole, Circuit, Dynamic TDM (K=4, timeout predictor) and Preload
+// TDM (K=4).
+//
+// Usage: bench_fig4 [--nodes N] [--csv]
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "traffic/patterns.hpp"
+
+namespace {
+
+using pmx::RunConfig;
+using pmx::SwitchKind;
+using pmx::Workload;
+
+struct Pattern {
+  std::string name;
+  Workload (*make)(std::size_t nodes, std::uint64_t bytes);
+};
+
+Workload make_scatter(std::size_t nodes, std::uint64_t bytes) {
+  return pmx::patterns::scatter(nodes, bytes);
+}
+Workload make_random_mesh(std::size_t nodes, std::uint64_t bytes) {
+  return pmx::patterns::random_mesh(nodes, bytes, /*rounds=*/2, /*seed=*/7);
+}
+Workload make_ordered_mesh(std::size_t nodes, std::uint64_t bytes) {
+  return pmx::patterns::ordered_mesh(nodes, bytes, /*rounds=*/2);
+}
+Workload make_two_phase(std::size_t nodes, std::uint64_t bytes) {
+  return pmx::patterns::two_phase(nodes, bytes, /*seed=*/7);
+}
+
+std::int64_t g_timeout_ns = 200;
+bool g_multi_slot = true;
+pmx::PredictorKind g_predictor = pmx::PredictorKind::kTimeout;
+
+RunConfig config_for(SwitchKind kind, std::size_t nodes) {
+  RunConfig config;
+  config.params.num_nodes = nodes;
+  config.params.mux_degree = 4;  // Figure 4: multiplexing degree of four
+  config.kind = kind;
+  config.predictor = g_predictor;
+  config.predictor_timeout = pmx::TimeNs{g_timeout_ns};
+  config.multi_slot_connections = g_multi_slot;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t nodes = 128;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      nodes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+      g_timeout_ns = std::strtoll(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--multislot") == 0) {
+      g_multi_slot = true;
+    } else if (std::strcmp(argv[i], "--no-multislot") == 0) {
+      g_multi_slot = false;
+    } else if (std::strcmp(argv[i], "--counter-predictor") == 0) {
+      g_predictor = pmx::PredictorKind::kCounter;
+    } else if (std::strcmp(argv[i], "--no-predictor") == 0) {
+      g_predictor = pmx::PredictorKind::kNone;
+    }
+  }
+
+  const std::vector<Pattern> patterns{
+      {"scatter", make_scatter},
+      {"random-mesh", make_random_mesh},
+      {"ordered-mesh", make_ordered_mesh},
+      {"two-phase", make_two_phase},
+  };
+  const std::vector<SwitchKind> kinds{
+      SwitchKind::kWormhole, SwitchKind::kCircuit, SwitchKind::kDynamicTdm,
+      SwitchKind::kPreloadTdm};
+  const std::vector<std::uint64_t> sizes{8, 16, 32, 64, 128, 256, 512, 1024,
+                                         2048};
+
+  std::cout << "Figure 4: bandwidth efficiency vs message size (" << nodes
+            << " nodes, K=4)\n";
+  for (const auto& pattern : patterns) {
+    std::vector<std::string> headers{"bytes"};
+    for (const auto kind : kinds) {
+      headers.push_back(pmx::to_string(kind));
+    }
+    pmx::Table table(std::move(headers));
+    for (const auto bytes : sizes) {
+      const Workload workload = pattern.make(nodes, bytes);
+      std::vector<std::string> row{pmx::Table::fmt(bytes)};
+      for (const auto kind : kinds) {
+        const auto result = pmx::run_workload(config_for(kind, nodes),
+                                              workload);
+        row.push_back(result.completed
+                          ? pmx::Table::fmt(result.metrics.efficiency, 3)
+                          : std::string("DNF"));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << "\n== " << pattern.name << " ==\n";
+    if (csv) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+  }
+  return 0;
+}

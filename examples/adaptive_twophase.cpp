@@ -1,0 +1,95 @@
+// Dynamic prediction and compiler flush hints on a phase-changing workload
+// (Section 3.2 / 3.3).
+//
+// The workload alternates between a global all-to-all phase and a local
+// nearest-neighbour phase. A predictor that latches connections helps
+// inside a phase but poisons the slot registers across the phase boundary;
+// the compiler knows where the boundary is and can insert a flush. This
+// example compares:
+//   * reactive TDM (no prediction),
+//   * timeout predictor,
+//   * timeout predictor + compiler flush at each phase boundary,
+//   * the self-flushing phase predictor (Section 3.3 without compiler
+//     help: it watches the working set and flushes on its own).
+//
+//   ./build/examples/adaptive_twophase [nodes] [bytes]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "traffic/mesh.hpp"
+#include "traffic/patterns.hpp"
+
+namespace {
+
+pmx::Workload phased_workload(std::size_t nodes, std::uint64_t bytes,
+                              bool with_flush) {
+  pmx::Workload w = pmx::patterns::two_phase(nodes, bytes, /*seed=*/11);
+  if (with_flush) {
+    // The "compiler" inserts a flush right after the barrier separating the
+    // phases (Section 3.3: points of change in communication locality).
+    for (auto& program : w.programs) {
+      for (std::size_t i = 0; i < program.size(); ++i) {
+        if (program[i].kind == pmx::Command::Kind::kBarrier) {
+          program.insert(program.begin() + static_cast<std::ptrdiff_t>(i + 1),
+                         pmx::Command::flush());
+          break;
+        }
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t nodes =
+      argc > 1 ? static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10))
+               : 64;
+  const std::uint64_t bytes =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 128;
+
+  std::cout << "two-phase workload (all-to-all, then random nearest "
+               "neighbour): "
+            << nodes << " nodes, " << bytes << "-byte messages\n\n";
+
+  struct Setup {
+    std::string label;
+    pmx::PredictorKind predictor;
+    bool flush;
+  };
+  const Setup setups[] = {
+      {"reactive (no predictor)", pmx::PredictorKind::kNone, false},
+      {"timeout predictor", pmx::PredictorKind::kTimeout, false},
+      {"timeout + compiler flush", pmx::PredictorKind::kTimeout, true},
+      {"phase predictor (self-flush)", pmx::PredictorKind::kPhase, false},
+      {"never-evict", pmx::PredictorKind::kNeverEvict, false},
+      {"never-evict + compiler flush", pmx::PredictorKind::kNeverEvict, true},
+  };
+
+  pmx::Table table({"scheme", "efficiency", "makespan(us)", "evictions",
+                    "flushes", "auto_flushes"});
+  for (const auto& setup : setups) {
+    pmx::RunConfig config;
+    config.params.num_nodes = nodes;
+    config.kind = pmx::SwitchKind::kDynamicTdm;
+    config.predictor = setup.predictor;
+    config.predictor_timeout = pmx::TimeNs{400};
+    const pmx::Workload workload =
+        phased_workload(nodes, bytes, setup.flush);
+    const auto result = pmx::run_workload(config, workload);
+    table.add_row({setup.label,
+                   result.completed
+                       ? pmx::Table::fmt(result.metrics.efficiency)
+                       : std::string("DNF"),
+                   pmx::Table::fmt(result.metrics.makespan.us()),
+                   pmx::Table::fmt(result.counter("evictions")),
+                   pmx::Table::fmt(result.counter("flushes")),
+                   pmx::Table::fmt(result.counter("auto_flushes"))});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Explore fabric constraints: how expensive is a working set to realize on
+// a crossbar vs an Omega multistage network, and what does that do to
+// preloaded-TDM performance?
+//
+// Accepts key=value arguments (see common/config.hpp):
+//
+//   ./build/examples/fabric_explorer nodes=64 pattern=uniform count=8
+//       bytes=256 seed=7
+//
+// pattern: mesh | uniform | alltoall | scatter | transpose
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "compiled/plan.hpp"
+#include "core/driver.hpp"
+#include "core/metrics.hpp"
+#include "fabric/fattree.hpp"
+#include "fabric/omega.hpp"
+#include "sim/simulator.hpp"
+#include "switching/preload_tdm.hpp"
+#include "traffic/patterns.hpp"
+
+namespace {
+
+pmx::Workload make_pattern(const std::string& name, std::size_t nodes,
+                           std::uint64_t bytes, std::size_t count,
+                           std::uint64_t seed) {
+  if (name == "mesh") {
+    return pmx::patterns::random_mesh(nodes, bytes, count, seed);
+  }
+  if (name == "alltoall") {
+    return pmx::patterns::all_to_all(nodes, bytes);
+  }
+  if (name == "scatter") {
+    return pmx::patterns::scatter(nodes, bytes);
+  }
+  if (name == "transpose") {
+    return pmx::patterns::transpose(nodes, bytes, count);
+  }
+  return pmx::patterns::uniform_random(nodes, bytes, count, seed);
+}
+
+double run_preload(const pmx::Workload& w, pmx::CompiledPlan plan,
+                   std::size_t nodes) {
+  pmx::SystemParams params;
+  params.num_nodes = nodes;
+  pmx::Simulator sim;
+  pmx::PreloadTdmNetwork net(sim, params, std::move(plan));
+  pmx::TrafficDriver driver(sim, net, w);
+  driver.start();
+  sim.run_until(pmx::TimeNs{50'000'000});
+  return driver.finished() ? pmx::compute_metrics(w, net).efficiency : -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  pmx::Config config;
+  try {
+    config = pmx::Config::from_args(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  const std::size_t nodes = config.get_uint("nodes", 64);
+  const std::uint64_t bytes = config.get_uint("bytes", 256);
+  const std::size_t count = config.get_uint("count", 8);
+  const std::uint64_t seed = config.get_uint("seed", 7);
+  const std::string pattern = config.get_string("pattern", "uniform");
+  const std::size_t leaves =
+      config.get_uint("leaves", nodes >= 32 ? 8 : 2);
+  const std::size_t spines = config.get_uint(
+      "spines", std::max<std::size_t>(1, nodes / leaves / 2));
+  if (const auto unread = config.unread_keys(); !unread.empty()) {
+    std::cerr << "unknown argument: " << unread.front() << "=...\n";
+    return 2;
+  }
+
+  const pmx::Workload w = make_pattern(pattern, nodes, bytes, count, seed);
+  const pmx::OmegaNetwork omega(nodes);
+
+  std::cout << "fabric explorer: pattern=" << pattern << " nodes=" << nodes
+            << " (" << omega.stages() << "-stage Omega), "
+            << w.num_messages() << " messages of " << bytes << " B\n\n";
+
+  if (nodes % leaves != 0) {
+    std::cerr << "nodes must be a multiple of leaves\n";
+    return 2;
+  }
+  const pmx::FatTree tree(leaves, nodes / leaves, spines);
+
+  pmx::CompiledPlan xbar = pmx::compile_workload(w);
+  pmx::CompiledPlan greedy = pmx::compile_workload(w, /*optimal=*/false);
+  pmx::CompiledPlan mesh = pmx::compile_workload_omega(w, omega);
+  pmx::CompiledPlan ft = pmx::compile_workload_fattree(w, tree);
+
+  pmx::Table table({"fabric/decomposition", "mux degree", "preload-tdm eff"});
+  const std::size_t xd = xbar.max_degree();
+  const std::size_t gd = greedy.max_degree();
+  const std::size_t od = mesh.max_degree();
+  const double xe = run_preload(w, std::move(xbar), nodes);
+  const double ge = run_preload(w, std::move(greedy), nodes);
+  const double oe = run_preload(w, std::move(mesh), nodes);
+  const auto cell = [](double e) {
+    return e < 0 ? std::string("DNF") : pmx::Table::fmt(e, 3);
+  };
+  table.add_row({"crossbar / Konig-optimal",
+                 pmx::Table::fmt(static_cast<std::uint64_t>(xd)), cell(xe)});
+  table.add_row({"crossbar / greedy first-fit",
+                 pmx::Table::fmt(static_cast<std::uint64_t>(gd)), cell(ge)});
+  table.add_row({"Omega multistage",
+                 pmx::Table::fmt(static_cast<std::uint64_t>(od)), cell(oe)});
+  const std::size_t fd = ft.max_degree();
+  const double fe = run_preload(w, std::move(ft), nodes);
+  table.add_row({"fat tree (" + std::to_string(leaves) + " leaves, " +
+                     std::to_string(spines) + " spines)",
+                 pmx::Table::fmt(static_cast<std::uint64_t>(fd)), cell(fe)});
+  table.print(std::cout);
+  std::cout << "\nmux degree = configurations needed to realize the working "
+               "set without conflict\n";
+  return 0;
+}

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pmx::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "pmx assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg);
+  std::abort();
+}
+
+}  // namespace pmx::detail
+
+/// Always-on invariant check. Simulation correctness depends on these
+/// invariants (e.g. a configuration being a partial permutation); they are
+/// cheap relative to event processing, so they stay enabled in release builds.
+#define PMX_CHECK(expr, msg)                                            \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::pmx::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                   \
+  } while (false)

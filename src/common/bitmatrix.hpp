@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.hpp"
+
+namespace pmx {
+
+/// Square Boolean matrix, the paper's representation of requests (R),
+/// configurations (B^(s)) and the established-connection aggregate (B*).
+///
+/// B[u][v] == 1 means "input port u drives output port v" (configuration) or
+/// "NIC u requests a connection to NIC v" (request matrix). Rows are stored
+/// as BitVectors so the scheduler's row/column OR-reductions (the AI/AO
+/// availability vectors of Section 4) are single bit-parallel passes.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  explicit BitMatrix(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  [[nodiscard]] bool get(std::size_t u, std::size_t v) const {
+    return rows_[u].get(v);
+  }
+  void set(std::size_t u, std::size_t v, bool value = true) {
+    rows_[u].set(v, value);
+  }
+  void toggle(std::size_t u, std::size_t v) {
+    rows_[u].set(v, !rows_[u].get(v));
+  }
+  void reset();
+
+  [[nodiscard]] const BitVector& row(std::size_t u) const { return rows_[u]; }
+  void set_row(std::size_t u, const BitVector& r);
+
+  /// Number of set entries.
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] bool none() const;
+  [[nodiscard]] bool any() const { return !none(); }
+
+  /// OR-reduction of row u — AI_u in the paper: 1 iff input u is in use.
+  [[nodiscard]] bool row_any(std::size_t u) const { return rows_[u].any(); }
+  /// OR-reduction of column v — AO_v in the paper: 1 iff output v is in use.
+  [[nodiscard]] bool col_any(std::size_t v) const;
+
+  /// Vector of row reductions: AI_u for all u.
+  [[nodiscard]] BitVector row_or() const;
+  /// Vector of column reductions: AO_v for all v.
+  [[nodiscard]] BitVector col_or() const;
+
+  /// True when every row and every column has at most one set bit —
+  /// the crossbar constraint on a configuration matrix (Section 4).
+  [[nodiscard]] bool is_partial_permutation() const;
+
+  /// Bit-wise OR (the paper's B* = B^(0) + ... + B^(K-1)).
+  BitMatrix& operator|=(const BitMatrix& rhs);
+  friend BitMatrix operator|(BitMatrix a, const BitMatrix& b) { return a |= b; }
+  BitMatrix& operator&=(const BitMatrix& rhs);
+  friend BitMatrix operator&(BitMatrix a, const BitMatrix& b) { return a &= b; }
+
+  bool operator==(const BitMatrix& rhs) const = default;
+
+  /// Multi-line dump, one row per line, for debugging and golden tests.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<BitVector> rows_;
+};
+
+}  // namespace pmx

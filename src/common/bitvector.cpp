@@ -1,0 +1,107 @@
+#include "common/bitvector.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace pmx {
+
+BitVector::BitVector(std::size_t size, bool value)
+    : size_(size), words_((size + 63) / 64, value ? ~std::uint64_t{0} : 0) {
+  trim_tail();
+}
+
+void BitVector::trim_tail() {
+  if (size_ % 64 != 0 && !words_.empty()) {
+    const std::uint64_t mask = (std::uint64_t{1} << (size_ % 64)) - 1;
+    words_.back() &= mask;
+  }
+}
+
+void BitVector::reset() { std::ranges::fill(words_, 0); }
+
+void BitVector::fill() {
+  std::ranges::fill(words_, ~std::uint64_t{0});
+  trim_tail();
+}
+
+std::size_t BitVector::count() const {
+  std::size_t total = 0;
+  for (const std::uint64_t w : words_) {
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
+
+bool BitVector::none() const {
+  return std::ranges::all_of(words_, [](std::uint64_t w) { return w == 0; });
+}
+
+std::size_t BitVector::find_first() const { return find_next(0); }
+
+std::size_t BitVector::find_next(std::size_t from) const {
+  if (from >= size_) {
+    return size_;
+  }
+  std::size_t wi = from >> 6;
+  std::uint64_t w = words_[wi] & (~std::uint64_t{0} << (from & 63));
+  while (true) {
+    if (w != 0) {
+      const std::size_t bit =
+          (wi << 6) + static_cast<std::size_t>(std::countr_zero(w));
+      return bit < size_ ? bit : size_;
+    }
+    if (++wi >= words_.size()) {
+      return size_;
+    }
+    w = words_[wi];
+  }
+}
+
+std::size_t BitVector::find_next_wrap(std::size_t from) const {
+  if (size_ == 0) {
+    return 0;
+  }
+  from %= size_;
+  const std::size_t hit = find_next(from);
+  if (hit < size_) {
+    return hit;
+  }
+  const std::size_t wrapped = find_first();
+  return wrapped;  // size() when all zero
+}
+
+BitVector& BitVector::operator|=(const BitVector& rhs) {
+  PMX_CHECK(size_ == rhs.size_, "BitVector size mismatch in |=");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= rhs.words_[i];
+  }
+  return *this;
+}
+
+BitVector& BitVector::operator&=(const BitVector& rhs) {
+  PMX_CHECK(size_ == rhs.size_, "BitVector size mismatch in &=");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= rhs.words_[i];
+  }
+  return *this;
+}
+
+BitVector& BitVector::operator^=(const BitVector& rhs) {
+  PMX_CHECK(size_ == rhs.size_, "BitVector size mismatch in ^=");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] ^= rhs.words_[i];
+  }
+  return *this;
+}
+
+std::string BitVector::to_string() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (get(i)) {
+      s[i] = '1';
+    }
+  }
+  return s;
+}
+
+}  // namespace pmx

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+/// Dynamically sized bit vector backed by 64-bit words.
+///
+/// Used for the scheduler's availability vectors (AO, AI), per-NIC request
+/// and grant signals, and the rows of configuration matrices. The hardware
+/// these model is plain wires/registers, so the operations here are the
+/// bit-parallel equivalents (OR, AND, population count, reductions).
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t size, bool value = false);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] bool get(std::size_t i) const {
+    PMX_CHECK(i < size_, "BitVector index out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1U;
+  }
+  void set(std::size_t i, bool value = true) {
+    PMX_CHECK(i < size_, "BitVector index out of range");
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+  void clear(std::size_t i) { set(i, false); }
+  void reset();  ///< Clear all bits.
+  void fill();   ///< Set all bits.
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const;
+  /// True if no bit is set.
+  [[nodiscard]] bool none() const;
+  /// True if at least one bit is set (the OR-reduction a hardware tree does).
+  [[nodiscard]] bool any() const { return !none(); }
+
+  /// Index of the first set bit, or size() when none is set.
+  [[nodiscard]] std::size_t find_first() const;
+  /// Index of the first set bit at position >= from, or size().
+  [[nodiscard]] std::size_t find_next(std::size_t from) const;
+  /// Index of the first set bit at or after `from`, wrapping around;
+  /// size() when the vector is all zero. Used for round-robin scans.
+  [[nodiscard]] std::size_t find_next_wrap(std::size_t from) const;
+
+  BitVector& operator|=(const BitVector& rhs);
+  BitVector& operator&=(const BitVector& rhs);
+  BitVector& operator^=(const BitVector& rhs);
+  friend BitVector operator|(BitVector a, const BitVector& b) { return a |= b; }
+  friend BitVector operator&(BitVector a, const BitVector& b) { return a &= b; }
+  friend BitVector operator^(BitVector a, const BitVector& b) { return a ^= b; }
+
+  bool operator==(const BitVector& rhs) const = default;
+
+  /// "0"/"1" characters, index 0 first.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Raw 64-bit words (low bit = index 0); tail bits beyond size() are zero.
+  [[nodiscard]] std::span<const std::uint64_t> words() const {
+    return words_;
+  }
+
+ private:
+  void trim_tail();
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace pmx

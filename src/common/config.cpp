@@ -1,0 +1,173 @@
+#include "common/config.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pmx {
+
+namespace {
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& value,
+                            const char* type) {
+  throw std::runtime_error("config key '" + key + "': cannot parse '" +
+                           value + "' as " + type);
+}
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+Config Config::from_args(const std::vector<std::string>& args) {
+  Config config;
+  for (const auto& arg : args) {
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::runtime_error("expected key=value, got '" + arg + "'");
+    }
+    config.set(arg.substr(0, eq), arg.substr(eq + 1));
+  }
+  return config;
+}
+
+Config Config::from_text(const std::string& text) {
+  Config config;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.erase(hash);
+    }
+    line = trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::runtime_error("config line " + std::to_string(lineno) +
+                               ": expected key=value");
+    }
+    config.set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+  }
+  return config;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+  read_[key] = false;
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+std::optional<std::string> Config::lookup(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return std::nullopt;
+  }
+  read_[key] = true;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  return lookup(key).value_or(fallback);
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  const auto value = lookup(key);
+  if (!value) {
+    return fallback;
+  }
+  try {
+    std::size_t pos = 0;
+    const std::int64_t parsed = std::stoll(*value, &pos);
+    if (pos != value->size()) {
+      bad_value(key, *value, "int");
+    }
+    return parsed;
+  } catch (const std::invalid_argument&) {
+    bad_value(key, *value, "int");
+  } catch (const std::out_of_range&) {
+    bad_value(key, *value, "int");
+  }
+}
+
+std::uint64_t Config::get_uint(const std::string& key,
+                               std::uint64_t fallback) const {
+  const auto value = lookup(key);
+  if (!value) {
+    return fallback;
+  }
+  try {
+    if (!value->empty() && (*value)[0] == '-') {
+      bad_value(key, *value, "uint");
+    }
+    std::size_t pos = 0;
+    const std::uint64_t parsed = std::stoull(*value, &pos);
+    if (pos != value->size()) {
+      bad_value(key, *value, "uint");
+    }
+    return parsed;
+  } catch (const std::invalid_argument&) {
+    bad_value(key, *value, "uint");
+  } catch (const std::out_of_range&) {
+    bad_value(key, *value, "uint");
+  }
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto value = lookup(key);
+  if (!value) {
+    return fallback;
+  }
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(*value, &pos);
+    if (pos != value->size()) {
+      bad_value(key, *value, "double");
+    }
+    return parsed;
+  } catch (const std::invalid_argument&) {
+    bad_value(key, *value, "double");
+  } catch (const std::out_of_range&) {
+    bad_value(key, *value, "double");
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto value = lookup(key);
+  if (!value) {
+    return fallback;
+  }
+  if (*value == "true" || *value == "1" || *value == "yes") {
+    return true;
+  }
+  if (*value == "false" || *value == "0" || *value == "no") {
+    return false;
+  }
+  bad_value(key, *value, "bool");
+}
+
+std::vector<std::string> Config::unread_keys() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, was_read] : read_) {
+    if (!was_read) {
+      keys.push_back(key);
+    }
+  }
+  return keys;
+}
+
+}  // namespace pmx

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pmx {
+
+/// Key=value configuration bag used by the bench harnesses and examples:
+/// parses `key=value` tokens (command-line style) and simple config-file
+/// text (one pair per line, '#' comments). Typed getters validate on
+/// access; unknown_keys() supports strict CLI parsing.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse argv-style tokens of the form key=value. Tokens without '=' are
+  /// rejected with std::runtime_error.
+  static Config from_args(const std::vector<std::string>& args);
+  /// Parse config-file text: one key=value per line, blank lines and
+  /// '#'-comments ignored.
+  static Config from_text(const std::string& text);
+
+  void set(const std::string& key, const std::string& value);
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Typed getters: return the value or `fallback`; throw
+  /// std::runtime_error when the stored text does not parse as the type.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& key,
+                                       std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  /// Accepts true/false/1/0/yes/no (case-sensitive).
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Keys that were set but never read through a getter -- catches typos in
+  /// benchmark invocations.
+  [[nodiscard]] std::vector<std::string> unread_keys() const;
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+ private:
+  [[nodiscard]] std::optional<std::string> lookup(
+      const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> read_;
+};
+
+}  // namespace pmx

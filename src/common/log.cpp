@@ -1,0 +1,39 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+namespace pmx {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(std::ostream* sink) { sink_ = sink; }
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (!enabled(level)) {
+    return;
+  }
+  std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;
+  out << "[" << to_string(level) << "] " << message << "\n";
+  ++written_;
+}
+
+std::string to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+}  // namespace pmx

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace pmx {
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Minimal leveled logger for the simulation tools.
+///
+/// Simulation output must stay machine-parseable (the bench harnesses print
+/// tables), so diagnostics go to a single global sink (stderr by default)
+/// behind a level gate that defaults to warnings-and-up. Not thread-safe by
+/// design: the simulator is single-threaded and deterministic.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Redirect output (tests capture it); pass nullptr to restore stderr.
+  void set_sink(std::ostream* sink);
+
+  void write(LogLevel level, const std::string& message);
+
+  [[nodiscard]] std::uint64_t messages_written() const { return written_; }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* sink_ = nullptr;
+  std::uint64_t written_ = 0;
+};
+
+[[nodiscard]] std::string to_string(LogLevel level);
+
+namespace detail {
+/// Builds the message only when the level is enabled.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace pmx
+
+#define PMX_LOG(level)                                   \
+  if (!::pmx::Logger::instance().enabled(level)) {       \
+  } else                                                 \
+    ::pmx::detail::LogLine(level)
+
+#define PMX_LOG_DEBUG PMX_LOG(::pmx::LogLevel::kDebug)
+#define PMX_LOG_INFO PMX_LOG(::pmx::LogLevel::kInfo)
+#define PMX_LOG_WARN PMX_LOG(::pmx::LogLevel::kWarn)
+#define PMX_LOG_ERROR PMX_LOG(::pmx::LogLevel::kError)

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+/// Deterministic pseudo-random generator (xoshiro256**).
+///
+/// Workload generation must be reproducible across runs and platforms, so we
+/// carry our own generator instead of std::mt19937 + std:: distributions
+/// (whose outputs are implementation-defined for some distributions).
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound), bias-free (Lemire rejection).
+  std::uint64_t below(std::uint64_t bound);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+  /// Exponentially distributed double with the given mean.
+  double exponential(double mean);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Random permutation of 0..n-1.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derive an independent stream (for per-node generators).
+  [[nodiscard]] Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pmx

@@ -1,0 +1,69 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PMX_CHECK(!headers_.empty(), "Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PMX_CHECK(cells.size() == headers_.size(),
+            "Table row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmt(std::int64_t v) { return std::to_string(v); }
+std::string Table::fmt(std::uint64_t v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c])) << cells[c];
+      os << (c + 1 < cells.size() ? "  " : "\n");
+    }
+  };
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c], '-') << (c + 1 < headers_.size() ? "  " : "\n");
+  }
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c] << (c + 1 < cells.size() ? "," : "\n");
+    }
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+}  // namespace pmx

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pmx {
+
+/// Aligned-column text table used by the benchmark harnesses to print the
+/// rows/series of the paper's tables and figures, plus a CSV emitter so the
+/// same data can be post-processed.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(std::int64_t v);
+  static std::string fmt(std::uint64_t v);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pmx

@@ -1,0 +1,7 @@
+#include "common/time.hpp"
+
+namespace pmx {
+
+std::string to_string(TimeNs t) { return std::to_string(t.ns()) + " ns"; }
+
+}  // namespace pmx

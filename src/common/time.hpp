@@ -1,0 +1,76 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace pmx {
+
+/// Simulation time in nanoseconds.
+///
+/// All timing constants in the paper (NIC cycle, serdes, wire propagation,
+/// scheduler pass, TDM slot) are integral nanosecond quantities, so the whole
+/// simulation runs on an integral ns clock. A strong type keeps raw integers
+/// (byte counts, node ids) from silently mixing with times.
+class TimeNs {
+ public:
+  constexpr TimeNs() = default;
+  constexpr explicit TimeNs(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const {
+    return static_cast<double>(ns_) / 1e3;
+  }
+
+  /// A time far beyond any simulation horizon; used as "never".
+  [[nodiscard]] static constexpr TimeNs never() {
+    return TimeNs{std::numeric_limits<std::int64_t>::max() / 4};
+  }
+  [[nodiscard]] static constexpr TimeNs zero() { return TimeNs{0}; }
+
+  constexpr auto operator<=>(const TimeNs&) const = default;
+
+  constexpr TimeNs& operator+=(TimeNs rhs) {
+    ns_ += rhs.ns_;
+    return *this;
+  }
+  constexpr TimeNs& operator-=(TimeNs rhs) {
+    ns_ -= rhs.ns_;
+    return *this;
+  }
+
+  friend constexpr TimeNs operator+(TimeNs a, TimeNs b) {
+    return TimeNs{a.ns_ + b.ns_};
+  }
+  friend constexpr TimeNs operator-(TimeNs a, TimeNs b) {
+    return TimeNs{a.ns_ - b.ns_};
+  }
+  friend constexpr TimeNs operator*(TimeNs a, std::int64_t k) {
+    return TimeNs{a.ns_ * k};
+  }
+  friend constexpr TimeNs operator*(std::int64_t k, TimeNs a) { return a * k; }
+  /// Truncating division (how many whole `b` intervals fit in `a`).
+  friend constexpr std::int64_t operator/(TimeNs a, TimeNs b) {
+    return a.ns_ / b.ns_;
+  }
+  friend constexpr TimeNs operator%(TimeNs a, TimeNs b) {
+    return TimeNs{a.ns_ % b.ns_};
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+namespace literals {
+constexpr TimeNs operator""_ns(unsigned long long v) {
+  return TimeNs{static_cast<std::int64_t>(v)};
+}
+constexpr TimeNs operator""_us(unsigned long long v) {
+  return TimeNs{static_cast<std::int64_t>(v) * 1000};
+}
+}  // namespace literals
+
+[[nodiscard]] std::string to_string(TimeNs t);
+
+}  // namespace pmx

@@ -1,0 +1,119 @@
+#include "compiled/plan.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+namespace {
+
+std::uint64_t pair_key(NodeId src, NodeId dst) {
+  return (static_cast<std::uint64_t>(src) << 32) | dst;
+}
+
+}  // namespace
+
+std::size_t PhasePlan::config_of(NodeId src, NodeId dst) const {
+  const auto it = pair_to_config.find(pair_key(src, dst));
+  return it != pair_to_config.end() ? it->second : kNoConfig;
+}
+
+std::size_t CompiledPlan::max_degree() const {
+  std::size_t degree = 0;
+  for (const auto& phase : phases) {
+    degree = std::max(degree, phase.degree);
+  }
+  return degree;
+}
+
+namespace {
+
+/// Gathered per-phase connection sets and per-pair byte totals.
+struct PhaseTraffic {
+  std::vector<std::vector<Conn>> conns;
+  std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> bytes;
+};
+
+PhaseTraffic gather(const Workload& workload) {
+  const std::size_t n = workload.num_nodes();
+  const std::size_t num_phases = workload.num_phases();
+  PhaseTraffic traffic;
+  traffic.conns.resize(num_phases);
+  traffic.bytes.resize(num_phases);
+  for (NodeId u = 0; u < n; ++u) {
+    std::size_t phase = 0;
+    for (const auto& cmd : workload.programs[u]) {
+      if (cmd.kind == Command::Kind::kBarrier) {
+        ++phase;
+        continue;
+      }
+      if (cmd.kind != Command::Kind::kSend) {
+        continue;
+      }
+      const std::uint64_t key = pair_key(u, cmd.dst);
+      auto& bytes = traffic.bytes[phase][key];
+      if (bytes == 0) {
+        traffic.conns[phase].push_back(Conn{u, cmd.dst});
+      }
+      bytes += cmd.bytes;
+    }
+  }
+  return traffic;
+}
+
+/// Assemble PhasePlans from a per-phase decomposition callback.
+template <typename DecomposeFn>
+CompiledPlan assemble(const Workload& workload, DecomposeFn&& decompose) {
+  const PhaseTraffic traffic = gather(workload);
+  CompiledPlan plan;
+  plan.phases.resize(traffic.conns.size());
+  for (std::size_t p = 0; p < plan.phases.size(); ++p) {
+    PhasePlan& phase = plan.phases[p];
+    const auto& conns = traffic.conns[p];
+    const auto [configs, color_of] = decompose(conns);
+    phase.configs = configs;
+    phase.degree = configs.size();
+    phase.config_bytes.assign(phase.configs.size(), 0);
+    for (std::size_t e = 0; e < conns.size(); ++e) {
+      const std::size_t color = color_of[e];
+      const std::uint64_t key = pair_key(conns[e].src, conns[e].dst);
+      phase.pair_to_config.emplace(key, color);
+      phase.config_bytes[color] += traffic.bytes[p].at(key);
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+CompiledPlan compile_workload(const Workload& workload, bool optimal) {
+  const std::size_t n = workload.num_nodes();
+  return assemble(workload, [&](const std::vector<Conn>& conns) {
+    const Decomposition d =
+        optimal ? decompose_optimal(n, conns) : decompose_greedy(n, conns);
+    return std::make_pair(d.configs, d.color_of);
+  });
+}
+
+CompiledPlan compile_workload_omega(const Workload& workload,
+                                    const OmegaNetwork& omega) {
+  PMX_CHECK(omega.size() == workload.num_nodes(),
+            "omega network and workload disagree on node count");
+  return assemble(workload, [&](const std::vector<Conn>& conns) {
+    const OmegaDecomposition d = decompose_omega(omega, conns);
+    return std::make_pair(d.configs, d.color_of);
+  });
+}
+
+CompiledPlan compile_workload_fattree(const Workload& workload,
+                                      const FatTree& tree) {
+  PMX_CHECK(tree.size() == workload.num_nodes(),
+            "fat tree and workload disagree on node count");
+  return assemble(workload, [&](const std::vector<Conn>& conns) {
+    const FatTreeDecomposition d = decompose_fattree(tree, conns);
+    return std::make_pair(d.configs, d.color_of);
+  });
+}
+
+}  // namespace pmx

@@ -1,0 +1,133 @@
+#include "core/experiment.hpp"
+
+#include <memory>
+
+#include "common/assert.hpp"
+#include "compiled/plan.hpp"
+#include "core/driver.hpp"
+#include "predictor/phase_predictor.hpp"
+#include "predictor/timeout_predictor.hpp"
+#include "sim/simulator.hpp"
+#include "switching/circuit.hpp"
+#include "switching/preload_tdm.hpp"
+#include "switching/tdm.hpp"
+#include "switching/wormhole.hpp"
+
+namespace pmx {
+
+std::string to_string(SwitchKind kind) {
+  switch (kind) {
+    case SwitchKind::kWormhole:
+      return "wormhole";
+    case SwitchKind::kCircuit:
+      return "circuit";
+    case SwitchKind::kDynamicTdm:
+      return "dynamic-tdm";
+    case SwitchKind::kPreloadTdm:
+      return "preload-tdm";
+  }
+  return "unknown";
+}
+
+std::string to_string(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kNone:
+      return "none";
+    case PredictorKind::kTimeout:
+      return "timeout";
+    case PredictorKind::kCounter:
+      return "counter";
+    case PredictorKind::kNeverEvict:
+      return "never-evict";
+    case PredictorKind::kPhase:
+      return "phase";
+  }
+  return "unknown";
+}
+
+std::uint64_t RunResult::counter(const std::string& name) const {
+  for (const auto& [key, value] : counters) {
+    if (key == name) {
+      return value;
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+std::unique_ptr<Predictor> make_predictor(const RunConfig& config) {
+  switch (config.predictor) {
+    case PredictorKind::kNone:
+      return make_no_predictor();
+    case PredictorKind::kTimeout:
+      return make_timeout_predictor(config.predictor_timeout);
+    case PredictorKind::kCounter:
+      return make_counter_predictor(config.predictor_threshold);
+    case PredictorKind::kNeverEvict:
+      return make_never_evict_predictor();
+    case PredictorKind::kPhase:
+      return make_phase_predictor(config.predictor_timeout,
+                                  config.phase_epoch);
+  }
+  return make_no_predictor();
+}
+
+std::unique_ptr<Network> make_network(const RunConfig& config,
+                                      const Workload& workload,
+                                      Simulator& sim) {
+  switch (config.kind) {
+    case SwitchKind::kWormhole:
+      return std::make_unique<WormholeNetwork>(sim, config.params);
+    case SwitchKind::kCircuit: {
+      CircuitNetwork::Options o;
+      o.hold_circuits = config.hold_circuits;
+      return std::make_unique<CircuitNetwork>(sim, config.params, o);
+    }
+    case SwitchKind::kDynamicTdm: {
+      TdmNetwork::Options o;
+      o.predictor = make_predictor(config);
+      o.multi_slot_connections = config.multi_slot_connections;
+      o.sl_units = config.sl_units;
+      o.receiver_buffer_bytes = config.receiver_buffer_bytes;
+      o.receiver_drain_per_slot = config.receiver_drain_per_slot;
+      auto net = std::make_unique<TdmNetwork>(sim, config.params,
+                                              std::move(o));
+      PMX_CHECK(config.pinned_configs.size() <= config.params.mux_degree,
+                "more pinned configurations than TDM slots");
+      for (std::size_t s = 0; s < config.pinned_configs.size(); ++s) {
+        net->preload(s, config.pinned_configs[s], /*pinned=*/true);
+      }
+      return net;
+    }
+    case SwitchKind::kPreloadTdm: {
+      CompiledPlan plan =
+          compile_workload(workload, config.optimal_decomposition);
+      return std::make_unique<PreloadTdmNetwork>(sim, config.params,
+                                                 std::move(plan));
+    }
+  }
+  PMX_CHECK(false, "unknown switch kind");
+  return nullptr;
+}
+
+}  // namespace
+
+RunResult run_workload(const RunConfig& config, const Workload& workload) {
+  Simulator sim;
+  const auto network = make_network(config, workload, sim);
+  TrafficDriver driver(sim, *network, workload, config.send_mode);
+  driver.start();
+  sim.run_until(config.horizon);
+
+  RunResult result;
+  result.completed = driver.finished();
+  result.sim_events = sim.events_processed();
+  result.metrics = compute_metrics(workload, *network);
+  for (const auto& [name, value] : network->counters().all()) {
+    result.counters.emplace_back(name, value);
+  }
+  return result;
+}
+
+}  // namespace pmx

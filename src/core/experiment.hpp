@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitmatrix.hpp"
+#include "core/driver.hpp"
+#include "core/metrics.hpp"
+#include "core/params.hpp"
+#include "traffic/program.hpp"
+
+namespace pmx {
+
+/// Which switching paradigm to instantiate.
+enum class SwitchKind : std::uint8_t {
+  kWormhole,     ///< wormhole-routed digital crossbar (baseline)
+  kCircuit,      ///< per-message circuit switching (baseline)
+  kDynamicTdm,   ///< reactive multiplexed switching (Section 4)
+  kPreloadTdm,   ///< compiled-communication preloading (Section 3.1)
+};
+
+[[nodiscard]] std::string to_string(SwitchKind kind);
+
+/// Which eviction predictor to attach to a dynamic TDM network.
+enum class PredictorKind : std::uint8_t {
+  kNone,        ///< release as soon as the request drops
+  kTimeout,     ///< the paper's experimental predictor
+  kCounter,     ///< usage-counter alternative (Section 3.2)
+  kNeverEvict,  ///< keep everything latched
+  kPhase,       ///< timeout + working-set phase detection (Section 3.3)
+};
+
+[[nodiscard]] std::string to_string(PredictorKind kind);
+
+/// One simulated run's full configuration.
+struct RunConfig {
+  SystemParams params{};
+  SwitchKind kind = SwitchKind::kDynamicTdm;
+  SendMode send_mode = SendMode::kEager;
+
+  // Dynamic-TDM knobs.
+  PredictorKind predictor = PredictorKind::kTimeout;
+  TimeNs predictor_timeout{200};  ///< 2 slots by default
+  std::uint64_t predictor_threshold = 8;
+  TimeNs phase_epoch{1000};  ///< working-set tracking epoch (kPhase)
+  bool multi_slot_connections = false;
+  std::size_t sl_units = 1;  ///< parallel scheduling-logic copies (ext. 1)
+  /// End-to-end flow control: receive-buffer bytes (0 = unlimited) and the
+  /// per-slot drain rate of the receiving processor.
+  std::uint64_t receiver_buffer_bytes = 0;
+  std::uint64_t receiver_drain_per_slot = 64;
+
+  // Circuit knob.
+  bool hold_circuits = false;
+
+  // Hybrid: configurations pinned into slots 0..k-1 of a dynamic TDM
+  // network before the run (Figure 5's "k preloaded slots").
+  std::vector<BitMatrix> pinned_configs;
+
+  // Preload-TDM knob: use the optimal (Konig) decomposition.
+  bool optimal_decomposition = true;
+
+  /// Abort the run at this horizon even if traffic has not drained (guards
+  /// against configuration mistakes wedging a benchmark).
+  TimeNs horizon{TimeNs{20'000'000}};
+};
+
+/// Outcome of one run.
+struct RunResult {
+  RunMetrics metrics;
+  bool completed = false;  ///< traffic fully drained before the horizon
+  std::uint64_t sim_events = 0;
+  /// Paradigm-specific counters (worms, circuits established, slot bytes,
+  /// evictions, ...), flattened for reporting.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+};
+
+/// Build the configured network, run the workload to completion (or the
+/// horizon) and report metrics. Deterministic for a given config+workload.
+[[nodiscard]] RunResult run_workload(const RunConfig& config,
+                                     const Workload& workload);
+
+}  // namespace pmx

@@ -1,0 +1,47 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+RunMetrics compute_metrics(const Workload& workload, const Network& network) {
+  RunMetrics m;
+  const auto& records = network.records();
+  m.messages = records.size();
+  m.total_bytes = network.delivered_bytes();
+  m.makespan = network.last_delivery();
+  if (records.empty() || m.makespan <= TimeNs::zero()) {
+    return m;
+  }
+
+  const double rate =
+      static_cast<double>(network.params().link.bandwidth_dgbps) / 80.0;
+  const TimeNs ideal = workload.ideal_makespan(rate);
+  m.efficiency =
+      static_cast<double>(ideal.ns()) / static_cast<double>(m.makespan.ns());
+  m.throughput = static_cast<double>(m.total_bytes) /
+                 static_cast<double>(m.makespan.ns());
+
+  std::vector<double> latencies;
+  latencies.reserve(records.size());
+  double sum = 0.0;
+  for (const auto& rec : records) {
+    const auto l = static_cast<double>(rec.latency().ns());
+    latencies.push_back(l);
+    sum += l;
+  }
+  std::ranges::sort(latencies);
+  m.avg_latency_ns = sum / static_cast<double>(latencies.size());
+  m.max_latency_ns = latencies.back();
+  const std::size_t p99_idx =
+      std::min(latencies.size() - 1,
+               static_cast<std::size_t>(0.99 * static_cast<double>(
+                                                   latencies.size())));
+  m.p99_latency_ns = latencies[p99_idx];
+  return m;
+}
+
+}  // namespace pmx

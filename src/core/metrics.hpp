@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "switching/network.hpp"
+#include "traffic/program.hpp"
+
+namespace pmx {
+
+/// Uniform result metrics for one simulated run, computed identically for
+/// every switching paradigm so the Figure 4/5 comparisons are apples to
+/// apples.
+struct RunMetrics {
+  TimeNs makespan{};            ///< time of the last delivery
+  std::uint64_t total_bytes = 0;
+  std::size_t messages = 0;
+  /// Bandwidth efficiency: serialization lower bound on the makespan (the
+  /// busiest injection/ejection port, summed across barrier phases) divided
+  /// by the achieved makespan. 1.0 means the bottleneck link never idled.
+  double efficiency = 0.0;
+  /// Aggregate delivered throughput in bytes/ns.
+  double throughput = 0.0;
+  double avg_latency_ns = 0.0;
+  double p99_latency_ns = 0.0;
+  double max_latency_ns = 0.0;
+};
+
+/// Compute metrics after a run has finished. The workload provides the
+/// ideal-makespan bound; the network provides the per-message records.
+[[nodiscard]] RunMetrics compute_metrics(const Workload& workload,
+                                         const Network& network);
+
+}  // namespace pmx

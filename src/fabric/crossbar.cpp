@@ -1,0 +1,62 @@
+#include "fabric/crossbar.hpp"
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+Crossbar::Crossbar(std::size_t n, FabricKind kind)
+    : n_(n), kind_(kind), active_(n), staged_(n) {
+  PMX_CHECK(n > 0, "crossbar must have at least one port");
+}
+
+TimeNs Crossbar::hop_delay() const {
+  switch (kind_) {
+    case FabricKind::kDigital:
+      return TimeNs{10};
+    case FabricKind::kLvds:
+    case FabricKind::kOptical:
+      return TimeNs{0};  // <2 ns, neglected per the paper
+  }
+  return TimeNs{0};
+}
+
+void Crossbar::stage(const BitMatrix& config) {
+  PMX_CHECK(config.size() == n_, "configuration size mismatch");
+  PMX_CHECK(config.is_partial_permutation(),
+            "crossbar configuration must be a partial permutation");
+  staged_ = config;
+}
+
+void Crossbar::commit() {
+  ++commits_;
+  if (active_ != staged_) {
+    ++reconfigs_;
+    active_ = staged_;
+  }
+}
+
+void Crossbar::load(const BitMatrix& config) {
+  stage(config);
+  commit();
+}
+
+std::optional<std::size_t> Crossbar::output_of(std::size_t in) const {
+  PMX_CHECK(in < n_, "input port out of range");
+  const std::size_t v = active_.row(in).find_first();
+  if (v < n_) {
+    return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> Crossbar::input_of(std::size_t out) const {
+  PMX_CHECK(out < n_, "output port out of range");
+  for (std::size_t u = 0; u < n_; ++u) {
+    if (active_.get(u, out)) {
+      return u;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pmx

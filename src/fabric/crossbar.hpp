@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitmatrix.hpp"
+#include "common/time.hpp"
+
+namespace pmx {
+
+/// The signalling technology of the switching fabric (Section 5).
+/// Digital crossbars (wormhole baseline) buffer and re-time flits and add a
+/// 10 ns hop; LVDS/optical fabrics keep the signal in the analog domain and
+/// their propagation (<2 ns) is neglected, with no serdes at the switch.
+enum class FabricKind : std::uint8_t { kDigital, kLvds, kOptical };
+
+/// Passive NxN crossbar with a double-buffered configuration register.
+///
+/// The fabric has no buffering or control logic of its own (Section 4): the
+/// scheduler writes a configuration (a partial permutation) into the staging
+/// register and commits it at a slot boundary. Connectivity queries are what
+/// NIC models use to decide whether their byte streams reach the other side.
+class Crossbar {
+ public:
+  Crossbar(std::size_t n, FabricKind kind);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] FabricKind kind() const { return kind_; }
+
+  /// Propagation delay through the fabric for the head of a signal.
+  [[nodiscard]] TimeNs hop_delay() const;
+
+  /// Stage a configuration for the next commit. Rejected (PMX_CHECK) if it
+  /// is not a partial permutation -- the hardware register cannot represent
+  /// a conflicted state.
+  void stage(const BitMatrix& config);
+  /// Copy the staged configuration into the active register (the "copy
+  /// config to fabric" edge of the time-slot clock in Figure 2).
+  void commit();
+  /// stage + commit in one step, for models that reconfigure immediately.
+  void load(const BitMatrix& config);
+
+  [[nodiscard]] bool connected(std::size_t in, std::size_t out) const {
+    return active_.get(in, out);
+  }
+  /// Output port that input `in` currently drives, if any.
+  [[nodiscard]] std::optional<std::size_t> output_of(std::size_t in) const;
+  /// Input port currently driving output `out`, if any.
+  [[nodiscard]] std::optional<std::size_t> input_of(std::size_t out) const;
+
+  [[nodiscard]] const BitMatrix& active() const { return active_; }
+  [[nodiscard]] std::uint64_t commits() const { return commits_; }
+  /// Commits that actually changed the active configuration.
+  [[nodiscard]] std::uint64_t reconfigurations() const { return reconfigs_; }
+
+ private:
+  std::size_t n_;
+  FabricKind kind_;
+  BitMatrix active_;
+  BitMatrix staged_;
+  std::uint64_t commits_ = 0;
+  std::uint64_t reconfigs_ = 0;
+};
+
+}  // namespace pmx

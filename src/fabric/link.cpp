@@ -1,0 +1,30 @@
+#include "fabric/link.hpp"
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+LinkModel::LinkModel(const Params& p) : p_(p) {
+  PMX_CHECK(p_.bandwidth_dgbps > 0, "link bandwidth must be positive");
+}
+
+TimeNs LinkModel::serialization(std::uint64_t bytes) const {
+  // ns = bytes * 8 bits / (dgbps/10 Gb/s) = bytes * 80 / dgbps, rounded up.
+  const auto num = static_cast<std::int64_t>(bytes) * 80;
+  return TimeNs{(num + p_.bandwidth_dgbps - 1) / p_.bandwidth_dgbps};
+}
+
+std::uint64_t LinkModel::bytes_in(TimeNs w) const {
+  if (w <= TimeNs::zero()) {
+    return 0;
+  }
+  return static_cast<std::uint64_t>(w.ns() * p_.bandwidth_dgbps / 80);
+}
+
+TimeNs LinkModel::segment_latency() const { return p_.p2s + p_.wire + p_.s2p; }
+
+TimeNs LinkModel::through_passive_switch(TimeNs switch_hop) const {
+  return p_.p2s + p_.wire + switch_hop + p_.wire + p_.s2p;
+}
+
+}  // namespace pmx

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace pmx {
+
+using NodeId = std::size_t;
+using MessageId = std::uint64_t;
+
+/// One end-to-end transfer request, the unit the traffic generators emit.
+struct Message {
+  MessageId id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint64_t bytes = 0;
+  TimeNs submit_time{};  ///< when the NIC accepted it
+  std::size_t phase = 0;  ///< program phase (for compiled communication)
+};
+
+/// A connection endpoint pair (input port -> output port).
+struct Conn {
+  NodeId src = 0;
+  NodeId dst = 0;
+  bool operator==(const Conn&) const = default;
+};
+
+/// Completed-transfer record kept by every network model for metrics.
+struct MessageRecord {
+  Message msg;
+  TimeNs send_done{};  ///< last byte left the source NIC
+  TimeNs delivered{};  ///< last byte arrived at the destination NIC
+
+  [[nodiscard]] TimeNs latency() const { return delivered - msg.submit_time; }
+};
+
+}  // namespace pmx

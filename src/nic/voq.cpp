@@ -1,0 +1,62 @@
+#include "nic/voq.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+VoqSet::VoqSet(std::size_t num_dests) : queues_(num_dests) {}
+
+void VoqSet::push(const Message& msg) {
+  PMX_CHECK(msg.dst < queues_.size(), "VOQ destination out of range");
+  PMX_CHECK(msg.bytes > 0, "zero-byte message");
+  queues_[msg.dst].push_back(Entry{msg, msg.bytes});
+  total_bytes_ += msg.bytes;
+  ++total_msgs_;
+}
+
+std::size_t VoqSet::total_depth() const { return total_msgs_; }
+
+std::uint64_t VoqSet::total_bytes() const { return total_bytes_; }
+
+const Message& VoqSet::head(NodeId dst) const {
+  PMX_CHECK(!queues_[dst].empty(), "head of empty VOQ");
+  return queues_[dst].front().msg;
+}
+
+std::uint64_t VoqSet::head_remaining(NodeId dst) const {
+  PMX_CHECK(!queues_[dst].empty(), "head of empty VOQ");
+  return queues_[dst].front().remaining;
+}
+
+std::uint64_t VoqSet::consume(NodeId dst, std::uint64_t budget,
+                              Message* completed) {
+  PMX_CHECK(!queues_[dst].empty(), "consume from empty VOQ");
+  Entry& e = queues_[dst].front();
+  const std::uint64_t taken = std::min(budget, e.remaining);
+  e.remaining -= taken;
+  total_bytes_ -= taken;
+  if (e.remaining == 0) {
+    if (completed != nullptr) {
+      *completed = e.msg;
+    }
+    queues_[dst].pop_front();
+    --total_msgs_;
+  } else if (completed != nullptr) {
+    *completed = Message{};  // sentinel: id 0, bytes 0
+  }
+  return taken;
+}
+
+std::vector<NodeId> VoqSet::pending_destinations() const {
+  std::vector<NodeId> dests;
+  for (NodeId d = 0; d < queues_.size(); ++d) {
+    if (!queues_[d].empty()) {
+      dests.push_back(d);
+    }
+  }
+  return dests;
+}
+
+}  // namespace pmx

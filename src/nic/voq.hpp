@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "nic/message.hpp"
+
+namespace pmx {
+
+/// The N logical output queues of one NIC (Section 4): one FIFO per
+/// destination, plus per-head "remaining bytes" tracking so a message can be
+/// fragmented across TDM slots.
+///
+/// The request signal R_u that the NIC sends to the scheduler is exactly the
+/// non-empty bitmap of these queues.
+class VoqSet {
+ public:
+  explicit VoqSet(std::size_t num_dests);
+
+  [[nodiscard]] std::size_t num_dests() const { return queues_.size(); }
+
+  /// Enqueue a message for its destination.
+  void push(const Message& msg);
+
+  [[nodiscard]] bool empty(NodeId dst) const { return queues_[dst].empty(); }
+  [[nodiscard]] std::size_t depth(NodeId dst) const {
+    return queues_[dst].size();
+  }
+  /// Total queued messages across all destinations.
+  [[nodiscard]] std::size_t total_depth() const;
+  /// Total queued bytes (remaining, across all destinations).
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  /// Message at the head of queue `dst`. Precondition: !empty(dst).
+  [[nodiscard]] const Message& head(NodeId dst) const;
+  /// Unsent bytes of the head message.
+  [[nodiscard]] std::uint64_t head_remaining(NodeId dst) const;
+
+  /// Consume up to `budget` bytes from the head of queue `dst`.
+  /// Returns the number of bytes actually consumed; if this completes the
+  /// head message it is popped and `*completed` receives it.
+  std::uint64_t consume(NodeId dst, std::uint64_t budget, Message* completed);
+
+  /// Destinations with pending traffic (the request vector R_u).
+  [[nodiscard]] std::vector<NodeId> pending_destinations() const;
+
+ private:
+  struct Entry {
+    Message msg;
+    std::uint64_t remaining;
+  };
+  std::vector<std::deque<Entry>> queues_;
+  std::uint64_t total_bytes_ = 0;
+  std::size_t total_msgs_ = 0;
+};
+
+}  // namespace pmx

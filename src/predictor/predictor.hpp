@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+#include "nic/message.hpp"
+
+namespace pmx {
+
+/// Eviction predictor interface (Section 3.2). Connections are identified
+/// by Conn pairs (see nic/message.hpp).
+///
+/// The paper inverts the usual prediction problem: instead of predicting
+/// which connection to *add*, the predictor decides when to *remove* a
+/// connection from the communication working set so the multiplexing degree
+/// stays small. The network calls:
+///   on_establish  — when the scheduler inserts a connection,
+///   on_use        — every time data moves over the connection,
+///   on_release    — when the connection leaves the network,
+/// and periodically collect_evictions() to learn which held connections
+/// should be dropped (unheld). should_hold() decides whether a connection is
+/// latched at all once the NIC's request signal goes away (Section 4,
+/// extension 3).
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Latch this connection when its request drops?
+  [[nodiscard]] virtual bool should_hold(const Conn& c) const = 0;
+
+  virtual void on_establish(const Conn& c, TimeNs now) = 0;
+  virtual void on_use(const Conn& c, TimeNs now) = 0;
+  virtual void on_release(const Conn& c, TimeNs now) = 0;
+
+  /// Connections whose hold should now be dropped. Called periodically
+  /// (every TDM slot in the provided networks); returned connections are
+  /// forgotten by the predictor.
+  [[nodiscard]] virtual std::vector<Conn> collect_evictions(TimeNs now) = 0;
+
+  /// A compiler flush (Section 3.3) removed every dynamic connection:
+  /// discard all learned state.
+  virtual void on_flush() {}
+
+  /// Polled once per TDM slot: should the network flush its dynamically
+  /// learned connections right now (a detected phase change, Section 3.3)?
+  /// The default never recommends flushing.
+  [[nodiscard]] virtual bool recommend_flush(TimeNs now) {
+    (void)now;
+    return false;
+  }
+};
+
+/// No prediction: connections are never latched; they are released as soon
+/// as the request signal drops (pure reactive TDM).
+class NoPredictor final : public Predictor {
+ public:
+  [[nodiscard]] std::string name() const override { return "none"; }
+  [[nodiscard]] bool should_hold(const Conn&) const override { return false; }
+  void on_establish(const Conn&, TimeNs) override {}
+  void on_use(const Conn&, TimeNs) override {}
+  void on_release(const Conn&, TimeNs) override {}
+  [[nodiscard]] std::vector<Conn> collect_evictions(TimeNs) override {
+    return {};
+  }
+};
+
+/// Never evict: connections stay latched until the slot capacity forces
+/// conflicts. The degenerate upper bound on working-set size.
+class NeverEvictPredictor final : public Predictor {
+ public:
+  [[nodiscard]] std::string name() const override { return "never-evict"; }
+  [[nodiscard]] bool should_hold(const Conn&) const override { return true; }
+  void on_establish(const Conn&, TimeNs) override {}
+  void on_use(const Conn&, TimeNs) override {}
+  void on_release(const Conn&, TimeNs) override {}
+  [[nodiscard]] std::vector<Conn> collect_evictions(TimeNs) override {
+    return {};
+  }
+};
+
+std::unique_ptr<Predictor> make_no_predictor();
+std::unique_ptr<Predictor> make_never_evict_predictor();
+
+}  // namespace pmx

@@ -1,0 +1,86 @@
+#include "predictor/timeout_predictor.hpp"
+
+#include "common/assert.hpp"
+#include "predictor/predictor.hpp"
+
+namespace pmx {
+
+std::unique_ptr<Predictor> make_no_predictor() {
+  return std::make_unique<NoPredictor>();
+}
+
+std::unique_ptr<Predictor> make_never_evict_predictor() {
+  return std::make_unique<NeverEvictPredictor>();
+}
+
+TimeoutPredictor::TimeoutPredictor(TimeNs timeout) : timeout_(timeout) {
+  PMX_CHECK(timeout_ > TimeNs::zero(), "timeout must be positive");
+}
+
+void TimeoutPredictor::on_establish(const Conn& c, TimeNs now) {
+  last_use_[c] = now;
+}
+
+void TimeoutPredictor::on_use(const Conn& c, TimeNs now) {
+  last_use_[c] = now;
+}
+
+void TimeoutPredictor::on_release(const Conn& c, TimeNs) {
+  last_use_.erase(c);
+}
+
+std::vector<Conn> TimeoutPredictor::collect_evictions(TimeNs now) {
+  std::vector<Conn> evict;
+  for (auto it = last_use_.begin(); it != last_use_.end();) {
+    if (now - it->second >= timeout_) {
+      evict.push_back(it->first);
+      it = last_use_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return evict;
+}
+
+CounterPredictor::CounterPredictor(std::uint64_t threshold)
+    : threshold_(threshold) {
+  PMX_CHECK(threshold_ > 0, "threshold must be positive");
+}
+
+void CounterPredictor::on_establish(const Conn& c, TimeNs) {
+  last_use_epoch_[c] = epoch_;
+}
+
+void CounterPredictor::on_use(const Conn& c, TimeNs) {
+  // Using a connection ages every other one; with the epoch encoding that
+  // is a single increment plus resetting this connection's mark.
+  ++epoch_;
+  last_use_epoch_[c] = epoch_;
+}
+
+void CounterPredictor::on_release(const Conn& c, TimeNs) {
+  last_use_epoch_.erase(c);
+}
+
+std::vector<Conn> CounterPredictor::collect_evictions(TimeNs) {
+  std::vector<Conn> evict;
+  for (auto it = last_use_epoch_.begin(); it != last_use_epoch_.end();) {
+    if (epoch_ - it->second >= threshold_) {
+      evict.push_back(it->first);
+      it = last_use_epoch_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return evict;
+}
+
+std::unique_ptr<Predictor> make_timeout_predictor(TimeNs timeout) {
+  return std::make_unique<TimeoutPredictor>(timeout);
+}
+
+std::unique_ptr<Predictor> make_counter_predictor(std::uint64_t threshold) {
+  return std::make_unique<CounterPredictor>(threshold);
+}
+
+}  // namespace pmx

@@ -1,0 +1,84 @@
+#include "predictor/working_set.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+WorkingSetTracker::WorkingSetTracker(TimeNs epoch, double shift_threshold)
+    : epoch_(epoch), threshold_(shift_threshold) {
+  PMX_CHECK(epoch_ > TimeNs::zero(), "epoch must be positive");
+  PMX_CHECK(shift_threshold >= 0.0 && shift_threshold <= 1.0,
+            "threshold must be in [0,1]");
+}
+
+void WorkingSetTracker::roll_if_needed(TimeNs now) {
+  while (now - epoch_start_ >= epoch_) {
+    // Compare the completed epoch against the previous non-empty one; an
+    // empty epoch (computation phase) is neither a shift nor an update.
+    if (!current_.empty()) {
+      if (!previous_.empty()) {
+        std::size_t common = 0;
+        for (const auto k : current_) {
+          common += previous_.contains(k) ? 1u : 0u;
+        }
+        const std::size_t unions =
+            current_.size() + previous_.size() - common;
+        last_similarity_ = static_cast<double>(common) /
+                           static_cast<double>(unions);
+        if (last_similarity_ < threshold_) {
+          shift_pending_ = true;
+        }
+      }
+      previous_ = std::move(current_);
+      current_.clear();
+    }
+    epoch_start_ += epoch_;
+    ++rolls_;
+  }
+}
+
+void WorkingSetTracker::observe(const Conn& c, TimeNs now) {
+  roll_if_needed(now);
+  current_.insert(key(c));
+}
+
+std::size_t WorkingSetTracker::size() const {
+  std::size_t count = current_.size();
+  for (const auto k : previous_) {
+    count += current_.contains(k) ? 0u : 1u;
+  }
+  return count;
+}
+
+std::size_t WorkingSetTracker::degree(std::size_t num_nodes) const {
+  std::vector<std::size_t> out_deg(num_nodes, 0);
+  std::vector<std::size_t> in_deg(num_nodes, 0);
+  std::size_t degree = 0;
+  const auto accumulate = [&](const std::unordered_set<std::uint64_t>& set,
+                              const std::unordered_set<std::uint64_t>* skip) {
+    for (const auto k : set) {
+      if (skip != nullptr && skip->contains(k)) {
+        continue;
+      }
+      const auto src = static_cast<std::size_t>(k >> 32);
+      const auto dst = static_cast<std::size_t>(k & 0xFFFFFFFFu);
+      PMX_CHECK(src < num_nodes && dst < num_nodes,
+                "tracked connection out of range");
+      degree = std::max({degree, ++out_deg[src], ++in_deg[dst]});
+    }
+  };
+  accumulate(current_, nullptr);
+  accumulate(previous_, &current_);
+  return degree;
+}
+
+bool WorkingSetTracker::phase_shifted(TimeNs now) {
+  roll_if_needed(now);
+  const bool shifted = shift_pending_;
+  shift_pending_ = false;
+  return shifted;
+}
+
+}  // namespace pmx

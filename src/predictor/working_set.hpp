@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+#include "nic/message.hpp"
+
+namespace pmx {
+
+/// Tracks the communication working set (Section 2): the set of connections
+/// used within a sliding time window, using the classic two-epoch scheme.
+/// Each completed non-empty epoch is compared against the previous
+/// *non-empty* epoch (so pure-computation gaps neither trigger nor mask a
+/// shift). Reports the set size, the port degree (the multiplexing
+/// requirement of realizing the set without conflict), and a phase-shift
+/// signal when consecutive active epochs barely overlap -- the "change in
+/// communication locality" of Section 3.3.
+class WorkingSetTracker {
+ public:
+  /// `epoch` is half the working-set window; `shift_threshold` is the
+  /// Jaccard similarity below which consecutive epochs count as a phase
+  /// change.
+  WorkingSetTracker(TimeNs epoch, double shift_threshold = 0.25);
+
+  /// Record a use of connection `c` at time `now`. Epoch rolling happens
+  /// lazily here and in phase_shifted().
+  void observe(const Conn& c, TimeNs now);
+
+  /// Connections observed in the current window (both epochs).
+  [[nodiscard]] std::size_t size() const;
+  /// Maximum per-port degree of the current window's set: the multiplexing
+  /// degree a crossbar needs to cache it.
+  [[nodiscard]] std::size_t degree(std::size_t num_nodes) const;
+  /// Similarity (Jaccard) between the two most recent *complete* epochs.
+  [[nodiscard]] double last_similarity() const { return last_similarity_; }
+
+  /// True once after each epoch boundary whose similarity fell below the
+  /// threshold (a phase change); reading clears the flag.
+  [[nodiscard]] bool phase_shifted(TimeNs now);
+
+  [[nodiscard]] TimeNs epoch() const { return epoch_; }
+  [[nodiscard]] std::uint64_t epochs_completed() const { return rolls_; }
+
+ private:
+  static std::uint64_t key(const Conn& c) {
+    return (static_cast<std::uint64_t>(c.src) << 32) | c.dst;
+  }
+  void roll_if_needed(TimeNs now);
+
+  TimeNs epoch_;
+  double threshold_;
+  TimeNs epoch_start_{};
+  std::unordered_set<std::uint64_t> current_;
+  /// The most recent completed non-empty epoch.
+  std::unordered_set<std::uint64_t> previous_;
+  double last_similarity_ = 1.0;
+  bool shift_pending_ = false;
+  std::uint64_t rolls_ = 0;
+};
+
+}  // namespace pmx

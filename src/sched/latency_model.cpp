@@ -1,0 +1,95 @@
+#include "sched/latency_model.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+namespace {
+
+constexpr double kAsicSpeedup = 385.0 / 80.0;  // paper: "about 5x better"
+
+/// Solve the 3x3 linear system M x = y by Gaussian elimination with partial
+/// pivoting. M is well conditioned here (normal equations over 6 spread-out
+/// sample points).
+std::array<double, 3> solve3(std::array<std::array<double, 4>, 3> m) {
+  for (std::size_t col = 0; col < 3; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < 3; ++r) {
+      if (std::fabs(m[r][col]) > std::fabs(m[pivot][col])) {
+        pivot = r;
+      }
+    }
+    std::swap(m[col], m[pivot]);
+    PMX_CHECK(std::fabs(m[col][col]) > 1e-12, "singular normal equations");
+    for (std::size_t r = 0; r < 3; ++r) {
+      if (r == col) {
+        continue;
+      }
+      const double f = m[r][col] / m[col][col];
+      for (std::size_t c = col; c < 4; ++c) {
+        m[r][c] -= f * m[col][c];
+      }
+    }
+  }
+  return {m[0][3] / m[0][0], m[1][3] / m[1][1], m[2][3] / m[2][2]};
+}
+
+}  // namespace
+
+const std::array<SchedulerLatencyModel::Point, 6>&
+SchedulerLatencyModel::paper_table3() {
+  static const std::array<Point, 6> kTable{{
+      {4, 34.0},
+      {8, 49.0},
+      {16, 76.0},
+      {32, 120.0},
+      {64, 213.0},
+      {128, 385.0},
+  }};
+  return kTable;
+}
+
+SchedulerLatencyModel::SchedulerLatencyModel() {
+  // Least-squares fit of y = c0 + c1*log2(N) + c2*N over the 6 points:
+  // accumulate the normal equations A^T A c = A^T y.
+  std::array<std::array<double, 4>, 3> m{};
+  for (const auto& p : paper_table3()) {
+    const double x1 = std::log2(static_cast<double>(p.n));
+    const double x2 = static_cast<double>(p.n);
+    const std::array<double, 3> row{1.0, x1, x2};
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        m[i][j] += row[i] * row[j];
+      }
+      m[i][3] += row[i] * p.fpga_ns;
+    }
+  }
+  c_ = solve3(m);
+}
+
+double SchedulerLatencyModel::fpga_ns(std::size_t n) const {
+  PMX_CHECK(n >= 2, "scheduler needs at least 2 ports");
+  return c_[0] + c_[1] * std::log2(static_cast<double>(n)) +
+         c_[2] * static_cast<double>(n);
+}
+
+double SchedulerLatencyModel::asic_ns(std::size_t n) const {
+  return fpga_ns(n) / kAsicSpeedup;
+}
+
+TimeNs SchedulerLatencyModel::asic_latency(std::size_t n) const {
+  return TimeNs{static_cast<std::int64_t>(std::llround(asic_ns(n)))};
+}
+
+double SchedulerLatencyModel::rms_error() const {
+  double sq = 0.0;
+  for (const auto& p : paper_table3()) {
+    const double e = fpga_ns(p.n) - p.fpga_ns;
+    sq += e * e;
+  }
+  return std::sqrt(sq / static_cast<double>(paper_table3().size()));
+}
+
+}  // namespace pmx

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/time.hpp"
+
+namespace pmx {
+
+/// Scheduler latency model reproducing Table 3 of the paper.
+///
+/// The paper synthesizes the SL-array scheduler onto an Altera Stratix FPGA
+/// (EP1S25F1020C-5) and reports the combinational latency for system sizes
+/// 4..128. We cannot synthesize hardware here, so we substitute an analytic
+/// model fitted to the paper's own measurements:
+///
+///     latency(N) = c0 + c1*log2(N) + c2*N
+///
+/// The log term captures the AO/AI OR-reduction trees and the request
+/// multiplexers (depth log2 N); the linear term captures the availability
+/// wavefront that crosses the NxN array (2N-1 cells on the critical path,
+/// Section 4: "the scheduling delay should be linearly proportional to the
+/// system size N").
+///
+/// The ASIC estimate follows the paper's rule: "we conservatively chose the
+/// ASIC performance to be 80 ns for a 128x128 scheduler (about 5x better)",
+/// i.e. a constant 385/80 speed-up over the FPGA numbers.
+class SchedulerLatencyModel {
+ public:
+  struct Point {
+    std::size_t n;
+    double fpga_ns;
+  };
+
+  /// The measured FPGA latencies from Table 3.
+  [[nodiscard]] static const std::array<Point, 6>& paper_table3();
+
+  /// Fits the model to paper_table3() by least squares.
+  SchedulerLatencyModel();
+
+  /// Modelled FPGA latency for an NxN scheduler.
+  [[nodiscard]] double fpga_ns(std::size_t n) const;
+  /// Modelled ASIC latency (FPGA / 4.8125, anchoring 128 -> 80 ns).
+  [[nodiscard]] double asic_ns(std::size_t n) const;
+  /// ASIC latency rounded to the nearest whole ns, as a simulation constant.
+  [[nodiscard]] TimeNs asic_latency(std::size_t n) const;
+
+  [[nodiscard]] double c0() const { return c_[0]; }
+  [[nodiscard]] double c1() const { return c_[1]; }
+  [[nodiscard]] double c2() const { return c_[2]; }
+
+  /// Root-mean-square error of the fit against the paper's points.
+  [[nodiscard]] double rms_error() const;
+
+ private:
+  std::array<double, 3> c_{};
+};
+
+}  // namespace pmx

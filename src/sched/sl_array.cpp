@@ -1,0 +1,70 @@
+#include "sched/sl_array.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+SlCellOut sl_cell(bool l, bool b_s, bool a_in, bool d_in) {
+  if (!l) {
+    return {false, a_in, d_in};  // row 1 of Table 2: pass through
+  }
+  if (b_s) {
+    // Release: the connection (u,v) itself holds both ports, so a_in and
+    // d_in are necessarily 1 here; releasing frees them for later cells.
+    PMX_CHECK(a_in && d_in, "release cell must see both ports occupied");
+    return {true, false, false};  // row 2: release, free the ports
+  }
+  if (!a_in && !d_in) {
+    return {true, true, true};  // row 5: establish, occupy the ports
+  }
+  return {false, a_in, d_in};  // rows 3-4: blocked, resources unavailable
+}
+
+SlPassResult sl_array_pass(const BitMatrix& l, const BitMatrix& slot_config,
+                           std::size_t a, std::size_t b) {
+  const std::size_t n = l.size();
+  PMX_CHECK(slot_config.size() == n, "SL array matrix size mismatch");
+  PMX_CHECK(a < n && b < n, "priority rotation origin out of range");
+
+  SlPassResult result{BitMatrix(n), 0, 0, 0};
+
+  // A_{0,v} = AO_v (output-port occupancy), D_{u,0} = AI_u (input-port
+  // occupancy) in rotated coordinates: the wavefront starts at row a /
+  // column b and wraps.
+  std::vector<bool> col_avail(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    col_avail[v] = slot_config.col_any(v);
+  }
+
+  for (std::size_t du = 0; du < n; ++du) {
+    const std::size_t u = (a + du) % n;
+    if (l.row(u).none()) {
+      // Every cell in this row is the Table-2 pass-through case: the
+      // availability signals cross it unchanged, so skip it wholesale.
+      continue;
+    }
+    bool row_avail = slot_config.row_any(u);  // AI_u
+    for (std::size_t dv = 0; dv < n; ++dv) {
+      const std::size_t v = (b + dv) % n;
+      const SlCellOut out =
+          sl_cell(l.get(u, v), slot_config.get(u, v), col_avail[v], row_avail);
+      if (out.toggle) {
+        result.toggles.set(u, v);
+        if (slot_config.get(u, v)) {
+          ++result.releases;
+        } else {
+          ++result.establishes;
+        }
+      } else if (l.get(u, v)) {
+        ++result.blocked;
+      }
+      col_avail[v] = out.a_out;
+      row_avail = out.d_out;
+    }
+  }
+  return result;
+}
+
+}  // namespace pmx

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/bitmatrix.hpp"
+#include "common/bitvector.hpp"
+
+namespace pmx {
+
+/// One scheduling-logic cell SL(u,v) — Table 2 of the paper.
+///
+/// Inputs:
+///   l     — change request from the pre-scheduling logic (Table 1)
+///   b_s   — current state of the connection (u,v) in the slot being
+///           scheduled. Table 2 leaves the release/establish distinction
+///           implicit (a release always sees A=D=1 *because of its own
+///           connection*); the cell needs b_s to tell "release" apart from
+///           "establish blocked on both ports", otherwise a blocked
+///           establish with A=D=1 would toggle 0->1 and create a conflict.
+///   a_in  — output-port availability arriving from the previous row
+///           (0 = output v free so far)
+///   d_in  — input-port availability arriving from the previous column
+///           (0 = input u free so far)
+/// Outputs:
+///   toggle — T(u,v): flip B(s)[u][v]
+///   a_out / d_out — availability propagated onward
+struct SlCellOut {
+  bool toggle;
+  bool a_out;
+  bool d_out;
+};
+
+[[nodiscard]] SlCellOut sl_cell(bool l, bool b_s, bool a_in, bool d_in);
+
+/// Result of one combinational pass through the whole SL array.
+struct SlPassResult {
+  BitMatrix toggles;        ///< T matrix: entries of B(s) to flip
+  std::size_t establishes;  ///< connections inserted into slot s
+  std::size_t releases;     ///< connections removed from slot s
+  std::size_t blocked;      ///< requested but a port was already taken
+};
+
+/// Evaluate the NxN SL array (Figure 3) for slot configuration `slot_config`
+/// and change matrix `l`.
+///
+/// Availability signals propagate through rows in the rotated order
+/// a, a+1, ..., N-1, 0, ..., a-1 and through columns in the order starting
+/// at b, mirroring the priority-rotation scheme of Section 4: the wavefront
+/// start (a,b) determines which requests see free ports first. AO/AI are
+/// derived internally from the slot configuration (column/row ORs).
+[[nodiscard]] SlPassResult sl_array_pass(const BitMatrix& l,
+                                         const BitMatrix& slot_config,
+                                         std::size_t a, std::size_t b);
+
+}  // namespace pmx

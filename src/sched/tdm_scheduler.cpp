@@ -1,0 +1,255 @@
+#include "sched/tdm_scheduler.hpp"
+
+#include "common/assert.hpp"
+#include "sched/presched.hpp"
+#include "sched/sl_array.hpp"
+
+namespace pmx {
+
+namespace {
+
+/// Flip every entry of `config` flagged in `toggles`.
+void apply_toggles(BitMatrix& config, const BitMatrix& toggles) {
+  const std::size_t n = config.size();
+  for (std::size_t u = 0; u < n; ++u) {
+    const BitVector& row = toggles.row(u);
+    for (std::size_t v = row.find_first(); v < n; v = row.find_next(v + 1)) {
+      config.toggle(u, v);
+    }
+  }
+}
+
+}  // namespace
+
+TdmScheduler::TdmScheduler(const Options& options)
+    : n_(options.num_ports),
+      k_(options.num_slots),
+      rotate_priority_(options.rotate_priority),
+      multi_slot_(options.multi_slot_connections),
+      skip_unrequested_(options.skip_unrequested_slots),
+      requests_(n_),
+      holds_(n_),
+      slots_(k_, BitMatrix(n_)),
+      pinned_(k_, false),
+      b_star_(n_),
+      zero_(n_),
+      slot_clean_(k_, false) {
+  PMX_CHECK(n_ >= 2, "scheduler needs at least two ports");
+  PMX_CHECK(k_ >= 1, "scheduler needs at least one slot");
+}
+
+void TdmScheduler::set_request(std::size_t u, std::size_t v, bool value) {
+  PMX_CHECK(u < n_ && v < n_, "request port out of range");
+  if (requests_.get(u, v) != value) {
+    requests_.set(u, v, value);
+    mark_all_dirty();
+  }
+}
+
+void TdmScheduler::mark_all_dirty() {
+  std::fill(slot_clean_.begin(), slot_clean_.end(), false);
+}
+
+void TdmScheduler::preload(std::size_t slot, const BitMatrix& config,
+                           bool pinned) {
+  PMX_CHECK(slot < k_, "preload slot out of range");
+  PMX_CHECK(config.size() == n_, "preload configuration size mismatch");
+  PMX_CHECK(config.is_partial_permutation(),
+            "preloaded configuration must be a partial permutation");
+  slots_[slot] = config;
+  pinned_[slot] = pinned;
+  rebuild_b_star();
+  mark_all_dirty();
+}
+
+void TdmScheduler::unload(std::size_t slot) {
+  PMX_CHECK(slot < k_, "unload slot out of range");
+  slots_[slot].reset();
+  pinned_[slot] = false;
+  rebuild_b_star();
+  mark_all_dirty();
+}
+
+std::size_t TdmScheduler::num_pinned() const {
+  std::size_t count = 0;
+  for (const bool p : pinned_) {
+    count += p ? 1U : 0U;
+  }
+  return count;
+}
+
+void TdmScheduler::flush_dynamic() {
+  for (std::size_t s = 0; s < k_; ++s) {
+    if (!pinned_[s]) {
+      slots_[s].reset();
+    }
+  }
+  holds_.reset();
+  rebuild_b_star();
+  mark_all_dirty();
+  ++stats_.flushes;
+}
+
+std::optional<std::size_t> TdmScheduler::next_unpinned_slot() {
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::size_t s = (sl_cursor_ + i) % k_;
+    if (!pinned_[s]) {
+      sl_cursor_ = (s + 1) % k_;
+      return s;
+    }
+  }
+  return std::nullopt;
+}
+
+TdmScheduler::PassResult TdmScheduler::run_pass() {
+  PassResult result;
+  const auto slot = next_unpinned_slot();
+  if (!slot) {
+    return result;  // every slot is pinned: nothing to schedule dynamically
+  }
+  const std::size_t s = *slot;
+  result.slot = s;
+
+  if (slot_clean_[s]) {
+    // Provably quiescent: the hardware pass would produce an all-zero T.
+    ++stats_.passes_elided;
+    return result;
+  }
+
+  const BitMatrix r_eff = requests_ | holds_;
+  const BitMatrix l = preschedule(r_eff, b_star_, slots_[s]);
+  const std::size_t origin = rotate_priority_ ? priority_origin_ : 0;
+
+  const BitMatrix b_star_before = b_star_;
+
+  bool touched = false;
+  if (l.any()) {
+    const SlPassResult pass = sl_array_pass(l, slots_[s], origin, origin);
+    apply_toggles(slots_[s], pass.toggles);
+    result.establishes = pass.establishes;
+    result.releases = pass.releases;
+    result.blocked = pass.blocked;
+    touched = pass.toggles.any();
+  }
+
+  if (multi_slot_) {
+    // Extension 2: replicate already-established, still-requested
+    // connections into this slot's idle ports for extra bandwidth.
+    BitMatrix l2 = r_eff;
+    l2 &= b_star_;
+    for (std::size_t u = 0; u < n_; ++u) {
+      BitVector row = l2.row(u);
+      BitVector not_slot = slots_[s].row(u);
+      not_slot ^= BitVector(n_, true);
+      row &= not_slot;
+      l2.set_row(u, row);
+    }
+    if (l2.any()) {
+      const SlPassResult dup = sl_array_pass(l2, slots_[s], origin, origin);
+      apply_toggles(slots_[s], dup.toggles);
+      result.establishes += dup.establishes;
+      touched = touched || dup.toggles.any();
+      PMX_CHECK(dup.releases == 0, "duplication pass cannot release");
+    }
+  }
+
+  if (touched) {
+    PMX_CHECK(slots_[s].is_partial_permutation(),
+              "SL pass corrupted slot configuration");
+    rebuild_b_star();
+    // B* feeds every slot's pre-scheduling logic.
+    mark_all_dirty();
+  } else {
+    slot_clean_[s] = true;
+  }
+
+  // Report network-level (B*) membership changes for the predictor.
+  for (std::size_t u = 0; u < n_; ++u) {
+    const BitVector delta = b_star_before.row(u) ^ b_star_.row(u);
+    for (std::size_t v = delta.find_first(); v < n_;
+         v = delta.find_next(v + 1)) {
+      if (b_star_.get(u, v)) {
+        result.established_pairs.emplace_back(u, v);
+      } else {
+        result.released_pairs.emplace_back(u, v);
+      }
+    }
+  }
+
+  if (rotate_priority_) {
+    priority_origin_ = (priority_origin_ + 1) % n_;
+  }
+
+  ++stats_.passes;
+  stats_.establishes += result.establishes;
+  stats_.releases += result.releases;
+  stats_.blocked += result.blocked;
+  return result;
+}
+
+std::optional<std::size_t> TdmScheduler::advance_slot() {
+  ++stats_.slot_advances;
+  const std::size_t start = current_slot_ ? (*current_slot_ + 1) % k_ : 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::size_t s = (start + i) % k_;
+    const bool live = skip_unrequested_ ? (slots_[s] & requests_).any()
+                                        : slots_[s].any();
+    if (live) {
+      current_slot_ = s;
+      stats_.slots_skipped += i;
+      return s;
+    }
+  }
+  stats_.slots_skipped += k_;
+  current_slot_ = std::nullopt;
+  return std::nullopt;
+}
+
+const BitMatrix& TdmScheduler::config(std::size_t slot) const {
+  PMX_CHECK(slot < k_, "slot out of range");
+  return slots_[slot];
+}
+
+const BitMatrix& TdmScheduler::active_config() const {
+  return current_slot_ ? slots_[*current_slot_] : zero_;
+}
+
+bool TdmScheduler::grant(std::size_t u, std::size_t v) const {
+  return active_config().get(u, v);
+}
+
+std::optional<std::size_t> TdmScheduler::granted_output(std::size_t u) const {
+  const std::size_t v = active_config().row(u).find_first();
+  if (v < n_) {
+    return v;
+  }
+  return std::nullopt;
+}
+
+std::size_t TdmScheduler::live_mux_degree() const {
+  std::size_t degree = 0;
+  for (const auto& slot : slots_) {
+    degree += slot.any() ? 1U : 0U;
+  }
+  return degree;
+}
+
+std::vector<std::size_t> TdmScheduler::slots_of(std::size_t u,
+                                                std::size_t v) const {
+  std::vector<std::size_t> result;
+  for (std::size_t s = 0; s < k_; ++s) {
+    if (slots_[s].get(u, v)) {
+      result.push_back(s);
+    }
+  }
+  return result;
+}
+
+void TdmScheduler::rebuild_b_star() {
+  b_star_.reset();
+  for (const auto& slot : slots_) {
+    b_star_ |= slot;
+  }
+}
+
+}  // namespace pmx

@@ -1,0 +1,186 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitmatrix.hpp"
+
+namespace pmx {
+
+/// Aggregate counters maintained by the scheduler.
+struct SchedulerStats {
+  std::uint64_t passes = 0;         ///< SL-array evaluations
+  std::uint64_t establishes = 0;    ///< connections inserted
+  std::uint64_t releases = 0;       ///< connections removed
+  std::uint64_t blocked = 0;        ///< change requests that found no ports
+  std::uint64_t slot_advances = 0;  ///< TDM counter increments
+  std::uint64_t slots_skipped = 0;  ///< empty configurations skipped
+  std::uint64_t flushes = 0;        ///< flush-dynamic commands served
+  /// Passes elided because the slot was quiescent (its previous pass made
+  /// no change and no scheduler input has changed since) -- a simulator
+  /// optimization, not hardware behaviour: the hardware would evaluate the
+  /// combinational array and produce the same all-zero T matrix.
+  std::uint64_t passes_elided = 0;
+};
+
+/// The TDM connection scheduler of Section 4 (Figure 2).
+///
+/// Maintains K configuration registers B^(0)..B^(K-1) plus the aggregate
+/// B* = B^(0) | ... | B^(K-1). NICs raise request bits R[u][v]; every SL
+/// clock the scheduler runs one combinational pass (pre-scheduling logic +
+/// SL array) against one slot, inserting newly requested connections and
+/// releasing ones that are no longer requested. Every time-slot clock the
+/// TDM counter advances to the next non-empty configuration (empty slots are
+/// skipped, which is how the effective multiplexing degree shrinks).
+///
+/// Extensions from Section 4 that are implemented:
+///  2. multi-slot connections — when enabled, a request that is already
+///     realized may be inserted into additional slots if ports are idle,
+///     increasing that connection's bandwidth share;
+///  3. request latches ("holds") — a hold keeps a connection established
+///     after the NIC drops its request; predictors drive hold/unhold;
+///  4. flush — clears every unpinned slot (compiler phase-boundary hint);
+///  5. preload — load a predefined configuration into a specific slot,
+///     optionally pinning it so dynamic scheduling cannot alter it.
+class TdmScheduler {
+ public:
+  struct Options {
+    std::size_t num_ports = 0;
+    std::size_t num_slots = 1;  ///< K, the maximum multiplexing degree
+    bool rotate_priority = true;
+    bool multi_slot_connections = false;  ///< Section 4 extension 2
+    /// TDM-counter refinement: besides all-zero configurations (Section 4),
+    /// also skip slots none of whose connections has a pending request --
+    /// the scheduler already holds both B(s) and R, so this is one extra
+    /// AND/OR-reduction of existing signals. Held-but-idle and preloaded-
+    /// but-idle connections then cost no slot time.
+    bool skip_unrequested_slots = false;
+  };
+
+  explicit TdmScheduler(const Options& options);
+
+  [[nodiscard]] std::size_t num_ports() const { return n_; }
+  [[nodiscard]] std::size_t num_slots() const { return k_; }
+
+  // --- Request interface (NIC side) -------------------------------------
+  void set_request(std::size_t u, std::size_t v, bool value);
+  [[nodiscard]] bool request(std::size_t u, std::size_t v) const {
+    return requests_.get(u, v);
+  }
+  [[nodiscard]] const BitMatrix& requests() const { return requests_; }
+
+  // --- Hold latches (extension 3, driven by predictors) ------------------
+  void hold(std::size_t u, std::size_t v) {
+    if (!holds_.get(u, v)) {
+      holds_.set(u, v);
+      mark_all_dirty();
+    }
+  }
+  void unhold(std::size_t u, std::size_t v) {
+    if (holds_.get(u, v)) {
+      holds_.set(u, v, false);
+      mark_all_dirty();
+    }
+  }
+  void clear_holds() {
+    holds_.reset();
+    mark_all_dirty();
+  }
+  [[nodiscard]] bool held(std::size_t u, std::size_t v) const {
+    return holds_.get(u, v);
+  }
+
+  // --- Compiled communication (extension 5) ------------------------------
+  /// Load a predefined configuration into `slot`. A pinned slot is excluded
+  /// from dynamic scheduling passes. The configuration must be a partial
+  /// permutation.
+  void preload(std::size_t slot, const BitMatrix& config, bool pinned = true);
+  /// Clear a slot and unpin it.
+  void unload(std::size_t slot);
+  [[nodiscard]] bool pinned(std::size_t slot) const { return pinned_[slot]; }
+  [[nodiscard]] std::size_t num_pinned() const;
+
+  /// Extension 4: clear every unpinned configuration (and all holds).
+  void flush_dynamic();
+
+  // --- Scheduling pass (SL clock edge) ------------------------------------
+  struct PassResult {
+    std::optional<std::size_t> slot;  ///< slot scheduled, nullopt if none
+    std::size_t establishes = 0;
+    std::size_t releases = 0;
+    std::size_t blocked = 0;
+    /// Connections that entered/left the network as a whole (B* changes),
+    /// for predictor bookkeeping. A multi-slot duplicate insertion or a
+    /// release of one replica of a multi-slot connection does not appear
+    /// here.
+    std::vector<std::pair<std::size_t, std::size_t>> established_pairs;
+    std::vector<std::pair<std::size_t, std::size_t>> released_pairs;
+  };
+  /// Run one SL-array pass against the next unpinned slot (round robin).
+  PassResult run_pass();
+
+  // --- TDM rotation (time-slot clock edge) --------------------------------
+  /// Advance the TDM counter to the next non-empty slot (with
+  /// skip_unrequested_slots: next slot with a requested connection).
+  /// Returns the new active slot, or nullopt when every configuration is
+  /// empty (fabric idles). Pinned and dynamic slots rotate together.
+  std::optional<std::size_t> advance_slot();
+  [[nodiscard]] std::optional<std::size_t> current_slot() const {
+    return current_slot_;
+  }
+
+  // --- State inspection ----------------------------------------------------
+  [[nodiscard]] const BitMatrix& config(std::size_t slot) const;
+  /// Configuration driving the fabric right now (all-zero when idle).
+  [[nodiscard]] const BitMatrix& active_config() const;
+  /// B*: every connection established in any slot.
+  [[nodiscard]] const BitMatrix& established() const { return b_star_; }
+  [[nodiscard]] bool is_established(std::size_t u, std::size_t v) const {
+    return b_star_.get(u, v);
+  }
+  /// Grant signal G[u][v]: connection (u,v) is live in the active slot.
+  [[nodiscard]] bool grant(std::size_t u, std::size_t v) const;
+  /// Output granted to input u in the active slot, if any.
+  [[nodiscard]] std::optional<std::size_t> granted_output(std::size_t u) const;
+
+  /// Number of currently non-empty slots (the live multiplexing degree).
+  [[nodiscard]] std::size_t live_mux_degree() const;
+  /// Slots in which connection (u,v) is realized.
+  [[nodiscard]] std::vector<std::size_t> slots_of(std::size_t u,
+                                                  std::size_t v) const;
+
+  [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
+
+ private:
+  void rebuild_b_star();
+  [[nodiscard]] std::optional<std::size_t> next_unpinned_slot();
+
+  std::size_t n_;
+  std::size_t k_;
+  bool rotate_priority_;
+  bool multi_slot_;
+  bool skip_unrequested_;
+
+  BitMatrix requests_;
+  BitMatrix holds_;
+  std::vector<BitMatrix> slots_;
+  std::vector<bool> pinned_;
+  BitMatrix b_star_;
+  BitMatrix zero_;
+
+  /// Quiescence memo: slot_clean_[s] means the last pass on s produced no
+  /// toggles and no request/hold/configuration input has changed since, so
+  /// re-evaluating the SL array would provably produce no change.
+  void mark_all_dirty();
+  std::vector<bool> slot_clean_;
+
+  std::optional<std::size_t> current_slot_;
+  std::size_t sl_cursor_ = 0;        ///< round-robin slot selector (SL counter)
+  std::size_t priority_origin_ = 0;  ///< rotating wavefront origin (a == b)
+
+  SchedulerStats stats_;
+};
+
+}  // namespace pmx

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "sim/simulator.hpp"
+
+namespace pmx {
+
+/// Periodic tick source built on the event queue.
+///
+/// Models the hardware clocks in the design: the TDM time-slot clock and the
+/// independent SL (scheduling-logic) clock of Section 4. The callback runs
+/// once per period until stop() is called.
+class Clock {
+ public:
+  Clock(Simulator& sim, TimeNs period, std::function<void()> on_tick)
+      : sim_(sim), period_(period), on_tick_(std::move(on_tick)) {
+    PMX_CHECK(period_ > TimeNs::zero(), "clock period must be positive");
+  }
+
+  ~Clock() { stop(); }
+  Clock(const Clock&) = delete;
+  Clock& operator=(const Clock&) = delete;
+
+  /// Begin ticking; first tick fires `phase` after now.
+  void start(TimeNs phase = TimeNs::zero()) {
+    PMX_CHECK(!running_, "clock already running");
+    running_ = true;
+    pending_ = sim_.schedule_after(phase, [this] { tick(); });
+  }
+
+  void stop() {
+    if (running_) {
+      sim_.cancel(pending_);
+      running_ = false;
+    }
+  }
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] TimeNs period() const { return period_; }
+
+ private:
+  void tick() {
+    // Re-arm first so the callback may call stop() to cancel the next tick.
+    pending_ = sim_.schedule_after(period_, [this] { tick(); });
+    on_tick_();
+  }
+
+  Simulator& sim_;
+  TimeNs period_;
+  std::function<void()> on_tick_;
+  EventId pending_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace pmx

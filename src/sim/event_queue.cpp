@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+EventId EventQueue::push(TimeNs t, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id});
+  fns_.emplace(id, std::move(fn));
+  return id;
+}
+
+void EventQueue::cancel(EventId id) { fns_.erase(id); }
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && !fns_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+TimeNs EventQueue::next_time() {
+  drop_cancelled();
+  PMX_CHECK(!heap_.empty(), "next_time on empty EventQueue");
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  PMX_CHECK(!heap_.empty(), "pop on empty EventQueue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = fns_.find(top.id);
+  Fired fired{top.time, std::move(it->second)};
+  fns_.erase(it);
+  return fired;
+}
+
+}  // namespace pmx

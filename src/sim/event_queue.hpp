@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace pmx {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+/// Time-ordered event queue with stable FIFO ordering of simultaneous events
+/// (ties broken by insertion sequence, so simulations are deterministic) and
+/// lazy cancellation.
+class EventQueue {
+ public:
+  /// Enqueue `fn` to run at absolute time `t`. Returns a handle usable with
+  /// cancel().
+  EventId push(TimeNs t, EventFn fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
+  /// harmless no-op (the usual pattern is "cancel my timeout, it may have
+  /// fired already").
+  void cancel(EventId id);
+
+  /// True when no live (non-cancelled) event remains.
+  [[nodiscard]] bool empty();
+  /// Time of the earliest pending live event. Precondition: !empty().
+  [[nodiscard]] TimeNs next_time();
+
+  /// Pop and return the earliest live event. Precondition: !empty().
+  struct Fired {
+    TimeNs time;
+    EventFn fn;
+  };
+  Fired pop();
+
+  [[nodiscard]] std::size_t size_including_cancelled() const {
+    return heap_.size();
+  }
+
+ private:
+  struct Entry {
+    TimeNs time;
+    EventId id;
+    // std::priority_queue is a max-heap; invert so earlier (time, id) wins.
+    bool operator<(const Entry& rhs) const {
+      if (time != rhs.time) {
+        return time > rhs.time;
+      }
+      return id > rhs.id;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry> heap_;
+  std::unordered_map<EventId, EventFn> fns_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace pmx

@@ -1,0 +1,34 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+EventId Simulator::schedule_at(TimeNs t, EventFn fn) {
+  PMX_CHECK(t >= now_, "cannot schedule an event in the past");
+  return queue_.push(t, std::move(fn));
+}
+
+EventId Simulator::schedule_after(TimeNs delay, EventFn fn) {
+  PMX_CHECK(delay >= TimeNs::zero(), "negative delay");
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+void Simulator::run() { run_until(TimeNs::never()); }
+
+void Simulator::run_until(TimeNs t) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= t) {
+    auto [time, fn] = queue_.pop();
+    now_ = time;
+    ++processed_;
+    fn();
+  }
+  if (!stopped_ && t != TimeNs::never() && now_ < t) {
+    now_ = t;
+  }
+}
+
+}  // namespace pmx

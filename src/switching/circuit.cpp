@@ -1,0 +1,122 @@
+#include "switching/circuit.hpp"
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+CircuitNetwork::CircuitNetwork(Simulator& sim, const SystemParams& params)
+    : CircuitNetwork(sim, params, Options{}) {}
+
+CircuitNetwork::CircuitNetwork(Simulator& sim, const SystemParams& params,
+                               const Options& options)
+    : Network(sim, params),
+      options_(options),
+      sources_(params.num_nodes),
+      outputs_(params.num_nodes) {}
+
+void CircuitNetwork::do_submit(const Message& msg) {
+  SourceState& src = sources_[msg.src];
+  src.fifo.push_back(msg);
+  if (!src.busy) {
+    start_next_message(msg.src);
+  }
+}
+
+void CircuitNetwork::start_next_message(NodeId src_id) {
+  SourceState& src = sources_[src_id];
+  if (src.fifo.empty()) {
+    src.busy = false;
+    // An idle source gives up its held circuit so waiters cannot starve.
+    if (src.held_circuit.has_value()) {
+      const NodeId old_out = *src.held_circuit;
+      src.held_circuit.reset();
+      sim_.schedule_after(params_.control_wire_latency(),
+                          [this, old_out] { release_output(old_out); });
+    }
+    return;
+  }
+  src.busy = true;
+  src.active = src.fifo.front();
+  src.fifo.pop_front();
+
+  if (src.held_circuit == src.active.dst) {
+    // Circuit reuse: the pipe is already up; skip establishment entirely.
+    counters().counter("circuit_reuses") += 1;
+    sim_.schedule_after(params_.nic_cycle,
+                        [this, src_id] { transmit(src_id); });
+    return;
+  }
+  // A held circuit to a different destination must be torn down first; its
+  // teardown notice travels to the scheduler while we send the new request
+  // (both are control-wire messages, so they overlap).
+  if (src.held_circuit.has_value()) {
+    const NodeId old_out = *src.held_circuit;
+    src.held_circuit.reset();
+    sim_.schedule_after(params_.control_wire_latency(),
+                        [this, old_out] { release_output(old_out); });
+  }
+  // NIC cycle, then the request crosses the control wire to the scheduler.
+  sim_.schedule_after(params_.nic_cycle + params_.control_wire_latency(),
+                      [this, src_id] { request_arrived(src_id); });
+}
+
+void CircuitNetwork::request_arrived(NodeId src_id) {
+  SourceState& src = sources_[src_id];
+  OutputState& out = outputs_[src.active.dst];
+  if (out.busy) {
+    out.waiters.push_back(src_id);
+    counters().counter("circuit_waits") += 1;
+    return;
+  }
+  out.busy = true;
+  grant_circuit(src_id);
+}
+
+void CircuitNetwork::grant_circuit(NodeId src_id) {
+  counters().counter("circuits_established") += 1;
+  // 80 ns to schedule, 80 ns for the grant to reach the NIC.
+  sim_.schedule_after(
+      params_.scheduler_latency + params_.control_wire_latency(),
+      [this, src_id] { transmit(src_id); });
+}
+
+void CircuitNetwork::transmit(NodeId src_id) {
+  SourceState& src = sources_[src_id];
+  const TimeNs tx = link_.serialization(src.active.bytes);
+  sim_.schedule_after(tx, [this, src_id] { send_complete(src_id); });
+}
+
+void CircuitNetwork::send_complete(NodeId src_id) {
+  SourceState& src = sources_[src_id];
+  const Message msg = src.active;
+  const TimeNs send_done = sim_.now();
+  notify_send_done(msg, send_done);
+  // Tail byte drains through the passive fabric to the destination NIC.
+  notify_delivered(
+      msg, send_done,
+      send_done + params_.passive_path_latency() + params_.nic_cycle);
+
+  if (options_.hold_circuits) {
+    src.held_circuit = msg.dst;
+  } else {
+    // Teardown notice crosses the control wire; the output frees then.
+    const NodeId out = msg.dst;
+    sim_.schedule_after(params_.control_wire_latency(),
+                        [this, out] { release_output(out); });
+  }
+  start_next_message(src_id);
+}
+
+void CircuitNetwork::release_output(NodeId out_id) {
+  OutputState& out = outputs_[out_id];
+  PMX_CHECK(out.busy, "releasing an idle circuit output");
+  out.busy = false;
+  if (!out.waiters.empty()) {
+    const NodeId next = out.waiters.front();
+    out.waiters.pop_front();
+    out.busy = true;
+    grant_circuit(next);
+  }
+}
+
+}  // namespace pmx

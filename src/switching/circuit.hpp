@@ -1,0 +1,72 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "switching/network.hpp"
+
+namespace pmx {
+
+/// Circuit-switched baseline (Section 5): TDM with a multiplexing degree of
+/// one, re-establishing a dedicated pipe per message.
+///
+/// Timing model, straight from the paper:
+///  * establishment: 80 ns cable delay to send the request + 80 ns to
+///    schedule it + 80 ns to send the grant back;
+///  * data then flows at full line rate over the LVDS fabric with a
+///    30+20+20+30 ns point-to-point head latency;
+///  * contended requests queue FIFO at the scheduler per output port and are
+///    granted when the holder's circuit is torn down (teardown notice costs
+///    one more 80 ns control-wire delay).
+///
+/// `hold_circuits` keeps a circuit up after its message completes and reuses
+/// it if the very next message from that source has the same destination --
+/// the "established connections are repeatedly used" regime of Section 1.
+class CircuitNetwork final : public Network {
+ public:
+  struct Options {
+    bool hold_circuits = false;
+  };
+
+  CircuitNetwork(Simulator& sim, const SystemParams& params);
+  CircuitNetwork(Simulator& sim, const SystemParams& params,
+                 const Options& options);
+
+  [[nodiscard]] std::string name() const override { return "circuit"; }
+
+ protected:
+  void do_submit(const Message& msg) override;
+
+ private:
+  struct SourceState {
+    std::deque<Message> fifo;
+    bool busy = false;
+    Message active;
+    /// Destination of a circuit this source still holds (hold_circuits).
+    std::optional<NodeId> held_circuit;
+  };
+
+  struct OutputState {
+    bool busy = false;
+    std::deque<NodeId> waiters;
+  };
+
+  void start_next_message(NodeId src);
+  /// Request reaches the scheduler (after the control-wire delay).
+  void request_arrived(NodeId src);
+  /// Scheduler granted the circuit; grant is on its way back to the NIC.
+  void grant_circuit(NodeId src);
+  /// Grant arrived; transmit the message over the dedicated pipe.
+  void transmit(NodeId src);
+  /// Source finished transmitting; tear down or hold the circuit.
+  void send_complete(NodeId src);
+  /// Teardown notice reached the scheduler: free the port, serve waiters.
+  void release_output(NodeId out);
+
+  Options options_;
+  std::vector<SourceState> sources_;
+  std::vector<OutputState> outputs_;
+};
+
+}  // namespace pmx

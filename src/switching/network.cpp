@@ -1,0 +1,57 @@
+#include "switching/network.hpp"
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+Network::Network(Simulator& sim, const SystemParams& params)
+    : sim_(sim), params_(params), link_(params.link) {
+  params_.validate();
+}
+
+Message Network::submit(NodeId src, NodeId dst, std::uint64_t bytes,
+                        std::size_t phase) {
+  PMX_CHECK(src < params_.num_nodes && dst < params_.num_nodes,
+            "node id out of range");
+  PMX_CHECK(src != dst, "self-send is not routed through the fabric");
+  PMX_CHECK(bytes > 0, "empty message");
+  Message msg;
+  msg.id = next_id_++;
+  msg.src = src;
+  msg.dst = dst;
+  msg.bytes = bytes;
+  msg.submit_time = sim_.now();
+  msg.phase = phase;
+  counters_.counter("submitted") += 1;
+  do_submit(msg);
+  return msg;
+}
+
+void Network::notify_send_done(const Message& msg, TimeNs when) {
+  PMX_CHECK(when >= sim_.now(), "send-done in the past");
+  if (send_done_) {
+    sim_.schedule_at(when, [this, msg] { send_done_(msg); });
+  }
+}
+
+void Network::notify_delivered(const Message& msg, TimeNs send_done,
+                               TimeNs when) {
+  PMX_CHECK(when >= sim_.now(), "delivery in the past");
+  sim_.schedule_at(when, [this, msg, send_done] {
+    MessageRecord rec;
+    rec.msg = msg;
+    rec.send_done = send_done;
+    rec.delivered = sim_.now();
+    records_.push_back(rec);
+    delivered_bytes_ += msg.bytes;
+    if (rec.delivered > last_delivery_) {
+      last_delivery_ = rec.delivered;
+    }
+    counters_.counter("delivered") += 1;
+    if (delivered_) {
+      delivered_(rec);
+    }
+  });
+}
+
+}  // namespace pmx

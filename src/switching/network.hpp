@@ -1,0 +1,88 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/params.hpp"
+#include "nic/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace pmx {
+
+/// Common interface of all switching paradigms (wormhole, circuit switching,
+/// dynamic TDM, preloaded TDM). Each network model owns its control state
+/// and shares the Simulator with the traffic driver; completed messages are
+/// recorded uniformly so the benchmark harness can compute identical metrics
+/// for every paradigm.
+class Network {
+ public:
+  /// Invoked (as a simulation event) when the last byte of a message has
+  /// left the source NIC; the traffic driver issues the node's next command
+  /// on this edge.
+  using SendDoneFn = std::function<void(const Message&)>;
+  /// Invoked when the last byte arrives at the destination NIC.
+  using DeliveredFn = std::function<void(const MessageRecord&)>;
+
+  Network(Simulator& sim, const SystemParams& params);
+  virtual ~Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Hand a message to the source NIC. Submission is the only entry point;
+  /// timestamping happens here.
+  Message submit(NodeId src, NodeId dst, std::uint64_t bytes,
+                 std::size_t phase = 0);
+
+  /// Compiler hint (Section 3.3): a communication-locality boundary was
+  /// crossed; dynamically learned state should be discarded.
+  virtual void flush_hint() {}
+
+  void set_send_done_handler(SendDoneFn fn) { send_done_ = std::move(fn); }
+  void set_delivered_handler(DeliveredFn fn) { delivered_ = std::move(fn); }
+
+  [[nodiscard]] const std::vector<MessageRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t delivered_bytes() const {
+    return delivered_bytes_;
+  }
+  [[nodiscard]] std::size_t delivered_count() const { return records_.size(); }
+  [[nodiscard]] std::size_t submitted_count() const {
+    return static_cast<std::size_t>(next_id_ - 1);
+  }
+  /// Time the last record was delivered (zero when nothing delivered).
+  [[nodiscard]] TimeNs last_delivery() const { return last_delivery_; }
+
+  [[nodiscard]] const SystemParams& params() const { return params_; }
+  [[nodiscard]] CounterSet& counters() { return counters_; }
+  [[nodiscard]] const CounterSet& counters() const { return counters_; }
+
+ protected:
+  /// Paradigm-specific acceptance of a submitted message.
+  virtual void do_submit(const Message& msg) = 0;
+
+  /// Record completion of the source side and fire the send-done handler.
+  /// `when` must be >= now; the callback runs as an event at that time.
+  void notify_send_done(const Message& msg, TimeNs when);
+  /// Record delivery and fire the delivered handler at `when`.
+  void notify_delivered(const Message& msg, TimeNs send_done, TimeNs when);
+
+  Simulator& sim_;
+  SystemParams params_;
+  LinkModel link_;
+
+ private:
+  SendDoneFn send_done_;
+  DeliveredFn delivered_;
+  std::vector<MessageRecord> records_;
+  std::uint64_t delivered_bytes_ = 0;
+  TimeNs last_delivery_{};
+  MessageId next_id_ = 1;
+  CounterSet counters_;
+};
+
+}  // namespace pmx

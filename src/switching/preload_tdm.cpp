@@ -1,0 +1,223 @@
+#include "switching/preload_tdm.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+namespace {
+
+TdmScheduler::Options scheduler_options(const SystemParams& params) {
+  TdmScheduler::Options o;
+  o.num_ports = params.num_nodes;
+  o.num_slots = params.mux_degree;
+  o.skip_unrequested_slots = true;  // idle preloaded slots cost no time
+  return o;
+}
+
+/// Consecutive zero-progress slots tolerated before the loaded-configuration
+/// window is reshuffled towards head-of-line demand (see preemption note in
+/// the class description of fill_free_slots/on_slot_tick).
+constexpr std::uint64_t kStallSlots = 3;
+
+}  // namespace
+
+PreloadTdmNetwork::PreloadTdmNetwork(Simulator& sim,
+                                     const SystemParams& params,
+                                     CompiledPlan plan)
+    : Network(sim, params),
+      sched_(scheduler_options(params)),
+      xbar_(params.num_nodes, FabricKind::kLvds),
+      voqs_(params.num_nodes, VoqSet(params.num_nodes)),
+      plan_(std::move(plan)),
+      slot_config_(params.mux_degree),
+      slot_clock_(sim, params.slot_length, [this] { on_slot_tick(); }) {
+  PMX_CHECK(!plan_.phases.empty(), "compiled plan has no phases");
+  config_sent_.assign(plan_.phases[0].configs.size(), 0);
+  maybe_advance_phase();  // skips leading empty phases
+  fill_free_slots();
+  slot_clock_.start();
+}
+
+std::uint64_t PreloadTdmNetwork::queued_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& voq : voqs_) {
+    total += voq.total_bytes();
+  }
+  return total;
+}
+
+void PreloadTdmNetwork::do_submit(const Message& msg) {
+  PMX_CHECK(msg.phase < plan_.phases.size(), "message phase beyond plan");
+  PMX_CHECK(plan_.phases[msg.phase].config_of(msg.src, msg.dst) !=
+                PhasePlan::kNoConfig,
+            "message pair missing from compiled plan");
+  voqs_[msg.src].push(msg);
+  sched_.set_request(msg.src, msg.dst, true);
+}
+
+bool PreloadTdmNetwork::phase_drained() const {
+  const PhasePlan& phase = plan_.phases[phase_];
+  for (std::size_t i = 0; i < phase.configs.size(); ++i) {
+    if (config_sent_[i] < phase.config_bytes[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PreloadTdmNetwork::maybe_advance_phase() {
+  while (phase_drained() && phase_ + 1 < plan_.phases.size()) {
+    ++phase_;
+    config_sent_.assign(plan_.phases[phase_].configs.size(), 0);
+    for (std::size_t s = 0; s < slot_config_.size(); ++s) {
+      PMX_CHECK(!slot_config_[s].has_value(),
+                "advancing phase with configurations still loaded");
+    }
+    counters().counter("phase_advances") += 1;
+  }
+}
+
+void PreloadTdmNetwork::fill_free_slots() {
+  const PhasePlan& phase = plan_.phases[phase_];
+  // Pending = not loaded and not drained. Prefer configurations that some
+  // node's head-of-line message needs right now; break ties by index (the
+  // compiler's load-time order).
+  std::vector<std::uint64_t> head_demand(phase.configs.size(), 0);
+  for (NodeId u = 0; u < params_.num_nodes; ++u) {
+    for (const NodeId v : voqs_[u].pending_destinations()) {
+      const std::size_t cfg = phase.config_of(u, v);
+      if (cfg != PhasePlan::kNoConfig) {
+        head_demand[cfg] += voqs_[u].head_remaining(v);
+      }
+    }
+  }
+  const auto loaded = [&](std::size_t cfg) {
+    return std::any_of(slot_config_.begin(), slot_config_.end(),
+                       [&](const auto& s) { return s == cfg; });
+  };
+  const auto next_pending = [&]() -> std::size_t {
+    std::size_t best = PhasePlan::kNoConfig;
+    for (std::size_t c = 0; c < phase.configs.size(); ++c) {
+      if (config_sent_[c] >= phase.config_bytes[c] || loaded(c)) {
+        continue;
+      }
+      if (head_demand[c] > 0) {
+        return c;  // lowest-index config with live demand
+      }
+      if (best == PhasePlan::kNoConfig) {
+        best = c;
+      }
+    }
+    return best;
+  };
+
+  for (std::size_t s = 0; s < slot_config_.size(); ++s) {
+    if (slot_config_[s].has_value()) {
+      continue;
+    }
+    const std::size_t cfg = next_pending();
+    if (cfg == PhasePlan::kNoConfig) {
+      break;
+    }
+    slot_config_[s] = cfg;
+    counters().counter("config_loads") += 1;
+    // Writing a configuration register costs one scheduler pass.
+    sim_.schedule_after(params_.scheduler_latency, [this, s, cfg] {
+      // The slot may have been retargeted while the write was in flight.
+      if (slot_config_[s] == cfg) {
+        sched_.preload(s, plan_.phases[phase_].configs[cfg], true);
+      }
+    });
+  }
+}
+
+void PreloadTdmNetwork::on_slot_tick() {
+  const auto slot = sched_.advance_slot();
+  xbar_.load(sched_.active_config());
+  const TimeNs slot_start = sim_.now();
+  std::uint64_t transmitted = 0;
+
+  if (slot) {
+    const PhasePlan& phase = plan_.phases[phase_];
+    for (NodeId u = 0; u < params_.num_nodes; ++u) {
+      const auto granted = sched_.granted_output(u);
+      if (!granted || voqs_[u].empty(*granted)) {
+        continue;
+      }
+      const NodeId v = *granted;
+      const std::size_t cfg = phase.config_of(u, v);
+      std::uint64_t budget = params_.slot_payload_bytes();
+      std::uint64_t sent = 0;
+      while (budget > 0 && !voqs_[u].empty(v)) {
+        // Only consume traffic belonging to the current phase: a head
+        // message tagged for a later phase waits for its own configs.
+        if (voqs_[u].head(v).phase != phase_) {
+          break;
+        }
+        Message completed;
+        const std::uint64_t taken = voqs_[u].consume(v, budget, &completed);
+        budget -= taken;
+        sent += taken;
+        if (completed.id != 0) {
+          const TimeNs done = slot_start + link_.serialization(sent);
+          notify_send_done(completed, done);
+          notify_delivered(completed, done,
+                           done + params_.passive_path_latency() +
+                               params_.nic_cycle);
+        }
+      }
+      transmitted += sent;
+      if (voqs_[u].empty(v)) {
+        sched_.set_request(u, v, false);
+      }
+      if (cfg != PhasePlan::kNoConfig) {
+        config_sent_[cfg] += sent;
+      }
+    }
+    counters().counter("slot_bytes") += transmitted;
+  }
+
+  // Retire drained configurations and hand their slots to pending ones.
+  const PhasePlan& phase = plan_.phases[phase_];
+  for (std::size_t s = 0; s < slot_config_.size(); ++s) {
+    if (!slot_config_[s].has_value()) {
+      continue;
+    }
+    const std::size_t cfg = *slot_config_[s];
+    if (config_sent_[cfg] >= phase.config_bytes[cfg]) {
+      sched_.unload(s);
+      slot_config_[s].reset();
+    }
+  }
+  maybe_advance_phase();
+
+  // Stall recovery: the compiler's load order may disagree with the actual
+  // interleaving of sequential per-node programs (a head-of-line message may
+  // need a configuration that is still pending while every loaded one is
+  // waiting for traffic queued *behind* such heads). After kStallSlots
+  // zero-progress slots, evict one demandless loaded configuration so
+  // fill_free_slots can bring in a demanded one -- the "temporary
+  /// preemption" escape hatch of Section 3.3.
+  if (transmitted == 0 && queued_bytes() > 0) {
+    ++stall_slots_;
+    if (stall_slots_ >= kStallSlots) {
+      stall_slots_ = 0;
+      for (std::size_t s = 0; s < slot_config_.size(); ++s) {
+        if (slot_config_[s].has_value()) {
+          counters().counter("stall_preemptions") += 1;
+          sched_.unload(s);
+          slot_config_[s].reset();
+          break;
+        }
+      }
+    }
+  } else {
+    stall_slots_ = 0;
+  }
+
+  fill_free_slots();
+}
+
+}  // namespace pmx

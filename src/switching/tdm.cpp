@@ -1,0 +1,173 @@
+#include "switching/tdm.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+namespace {
+
+TdmScheduler::Options scheduler_options(const SystemParams& params,
+                                        const TdmNetwork::Options& options) {
+  TdmScheduler::Options o;
+  o.num_ports = params.num_nodes;
+  o.num_slots = params.mux_degree;
+  o.rotate_priority = options.rotate_priority;
+  o.multi_slot_connections = options.multi_slot_connections;
+  o.skip_unrequested_slots = options.skip_idle_slots;
+  return o;
+}
+
+}  // namespace
+
+TdmNetwork::TdmNetwork(Simulator& sim, const SystemParams& params)
+    : TdmNetwork(sim, params, Options{}) {}
+
+TdmNetwork::TdmNetwork(Simulator& sim, const SystemParams& params,
+                       Options options)
+    : Network(sim, params),
+      sched_(scheduler_options(params, options)),
+      xbar_(params.num_nodes, FabricKind::kLvds),
+      voqs_(params.num_nodes, VoqSet(params.num_nodes)),
+      predictor_(options.predictor ? std::move(options.predictor)
+                                   : make_no_predictor()),
+      slot_clock_(sim, params.slot_length, [this] { on_slot_tick(); }),
+      sl_clock_(sim, params.scheduler_latency, [this] { on_sl_tick(); }),
+      sl_units_(options.sl_units == 0 ? 1 : options.sl_units),
+      rx_buffer_(options.receiver_buffer_bytes),
+      rx_drain_(options.receiver_drain_per_slot) {
+  if (rx_buffer_ > 0) {
+    PMX_CHECK(rx_buffer_ >= params.slot_payload_bytes(),
+              "receive buffer smaller than one slot payload would deadlock");
+    PMX_CHECK(rx_drain_ > 0, "finite receive buffer needs a drain rate");
+    rx_occupancy_.assign(params.num_nodes, 0);
+  }
+  slot_clock_.start();
+  sl_clock_.start();
+}
+
+void TdmNetwork::preload(std::size_t slot, const BitMatrix& config,
+                         bool pinned) {
+  sched_.preload(slot, config, pinned);
+  counters().counter("preloads") += 1;
+}
+
+void TdmNetwork::flush_hint() {
+  sched_.flush_dynamic();
+  predictor_->on_flush();
+  counters().counter("flushes") += 1;
+}
+
+std::uint64_t TdmNetwork::queued_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& voq : voqs_) {
+    total += voq.total_bytes();
+  }
+  return total;
+}
+
+void TdmNetwork::do_submit(const Message& msg) {
+  voqs_[msg.src].push(msg);
+  sched_.set_request(msg.src, msg.dst, true);
+}
+
+void TdmNetwork::on_slot_tick() {
+  // A predictor that detects a communication-phase change (Section 3.3)
+  // may ask for a wholesale flush of the learned working set.
+  if (predictor_->recommend_flush(sim_.now())) {
+    sched_.flush_dynamic();
+    predictor_->on_flush();
+    counters().counter("auto_flushes") += 1;
+  }
+  // Predictor evictions unlatch idle connections; the next SL pass over
+  // their slot releases them.
+  for (const Conn& c : predictor_->collect_evictions(sim_.now())) {
+    sched_.unhold(c.src, c.dst);
+    counters().counter("evictions") += 1;
+  }
+
+  const auto slot = sched_.advance_slot();
+  xbar_.load(sched_.active_config());
+  if (!slot) {
+    counters().counter("idle_slots") += 1;
+    return;
+  }
+
+  const std::size_t n = params_.num_nodes;
+  const TimeNs slot_start = sim_.now();
+  // Receiving processors consume from their input buffers once per slot.
+  if (rx_buffer_ > 0) {
+    for (auto& occupancy : rx_occupancy_) {
+      occupancy -= std::min(occupancy, rx_drain_);
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    const auto granted = sched_.granted_output(u);
+    if (!granted) {
+      continue;
+    }
+    const NodeId v = *granted;
+    if (voqs_[u].empty(v)) {
+      counters().counter("idle_grants") += 1;
+      continue;
+    }
+    std::uint64_t budget = params_.slot_payload_bytes();
+    if (rx_buffer_ > 0) {
+      // Credit-based end-to-end flow control: never exceed the space the
+      // receiver's input buffer has left.
+      const std::uint64_t credit = rx_buffer_ - rx_occupancy_[v];
+      if (credit < budget) {
+        budget = credit;
+        counters().counter("backpressure_stalls") += 1;
+      }
+    }
+    std::uint64_t sent = 0;
+    while (budget > 0 && !voqs_[u].empty(v)) {
+      Message completed;
+      const std::uint64_t taken = voqs_[u].consume(v, budget, &completed);
+      budget -= taken;
+      sent += taken;
+      if (completed.id != 0) {
+        // Last byte of this message leaves the NIC `sent` bytes into the
+        // slot's data window; it lands after the passive-fabric pipe plus
+        // the receive NIC cycle.
+        const TimeNs done = slot_start + link_.serialization(sent);
+        notify_send_done(completed, done);
+        notify_delivered(completed, done,
+                         done + params_.passive_path_latency() +
+                             params_.nic_cycle);
+      }
+    }
+    counters().counter("slot_bytes") += sent;
+    if (rx_buffer_ > 0) {
+      rx_occupancy_[v] += sent;
+    }
+    predictor_->on_use(Conn{u, v}, slot_start);
+    if (voqs_[u].empty(v)) {
+      sched_.set_request(u, v, false);
+      if (predictor_->should_hold(Conn{u, v})) {
+        sched_.hold(u, v);
+      }
+    }
+  }
+}
+
+void TdmNetwork::on_sl_tick() {
+  // With parallel SL units (Section 4 extension 1) several slots are
+  // scheduled per SL clock; the sequential emulation is conservative (the
+  // later unit sees the earlier unit's insertions in B*, so no conflicts).
+  for (std::size_t unit = 0; unit < sl_units_; ++unit) {
+    const auto pass = sched_.run_pass();
+    for (const auto& [u, v] : pass.established_pairs) {
+      predictor_->on_establish(Conn{u, v}, sim_.now());
+    }
+    for (const auto& [u, v] : pass.released_pairs) {
+      // Defensive: a released connection must not stay latched.
+      sched_.unhold(u, v);
+      predictor_->on_release(Conn{u, v}, sim_.now());
+    }
+  }
+}
+
+}  // namespace pmx

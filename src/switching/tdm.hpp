@@ -1,0 +1,96 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fabric/crossbar.hpp"
+#include "nic/voq.hpp"
+#include "predictor/predictor.hpp"
+#include "sched/tdm_scheduler.hpp"
+#include "sim/clock.hpp"
+#include "switching/network.hpp"
+
+namespace pmx {
+
+/// Dynamic (reactive) multiplexed switching -- the system of Section 4.
+///
+/// NICs keep one logical output queue per destination; the non-empty bitmap
+/// of those queues is the request matrix R presented to the scheduler. Every
+/// SL-clock period (one scheduler pass, 80 ns) the scheduler inserts newly
+/// requested connections into one of the K slot configurations and releases
+/// connections whose requests (and holds) have dropped. Every time-slot
+/// clock period (100 ns) the TDM counter advances to the next non-empty
+/// configuration, the crossbar is reconfigured, and every granted connection
+/// moves up to slot_payload_bytes() of data (the rest of the slot is the
+/// guard band).
+///
+/// An eviction predictor (Section 3.2) may latch connections past the drop
+/// of their request signal (Section 4, extension 3); preloading pinned
+/// configurations before the run turns this into the hybrid
+/// preload+dynamic network of Figure 5.
+class TdmNetwork : public Network {
+ public:
+  struct Options {
+    /// Eviction predictor; nullptr means NoPredictor (pure reactive).
+    std::unique_ptr<Predictor> predictor;
+    /// Section 4 extension 2: replicate connections into idle slots.
+    bool multi_slot_connections = false;
+    bool rotate_priority = true;
+    /// Skip slots whose connections have no pending requests (see
+    /// TdmScheduler::Options::skip_unrequested_slots).
+    bool skip_idle_slots = true;
+    /// Section 4 extension 1: number of scheduling-logic copies. Each SL
+    /// clock edge runs this many passes against successive slots, modeling
+    /// parallel SL units with the requests partitioned among them.
+    std::size_t sl_units = 1;
+    /// End-to-end flow control (Section 2: "only end-to-end flow control is
+    /// required"): receive-buffer capacity per NIC in bytes; 0 = unlimited.
+    /// Senders see the receiver's credit and never overrun it.
+    std::uint64_t receiver_buffer_bytes = 0;
+    /// Bytes the receiving processor consumes from its input buffer per
+    /// TDM slot (only meaningful with a finite buffer).
+    std::uint64_t receiver_drain_per_slot = 64;
+  };
+
+  TdmNetwork(Simulator& sim, const SystemParams& params);
+  TdmNetwork(Simulator& sim, const SystemParams& params, Options options);
+
+  [[nodiscard]] std::string name() const override { return "dynamic-tdm"; }
+
+  /// Preload a pinned configuration before (or during) the run -- the
+  /// compiled-communication entry point that makes this the hybrid network.
+  void preload(std::size_t slot, const BitMatrix& config, bool pinned = true);
+
+  void flush_hint() override;
+
+  [[nodiscard]] const TdmScheduler& scheduler() const { return sched_; }
+  [[nodiscard]] const Crossbar& crossbar() const { return xbar_; }
+  [[nodiscard]] const Predictor& predictor() const { return *predictor_; }
+
+  /// Pending bytes still queued in the VOQs (for drain checks in tests).
+  [[nodiscard]] std::uint64_t queued_bytes() const;
+  /// Current input-buffer occupancy of node `v` (0 with unlimited buffers).
+  [[nodiscard]] std::uint64_t receiver_occupancy(NodeId v) const {
+    return rx_occupancy_.empty() ? 0 : rx_occupancy_[v];
+  }
+
+ protected:
+  void do_submit(const Message& msg) override;
+
+ private:
+  void on_slot_tick();
+  void on_sl_tick();
+
+  TdmScheduler sched_;
+  Crossbar xbar_;
+  std::vector<VoqSet> voqs_;
+  std::unique_ptr<Predictor> predictor_;
+  Clock slot_clock_;
+  Clock sl_clock_;
+  std::size_t sl_units_ = 1;
+  std::uint64_t rx_buffer_ = 0;  ///< 0 = unlimited
+  std::uint64_t rx_drain_ = 0;
+  std::vector<std::uint64_t> rx_occupancy_;  ///< empty when unlimited
+};
+
+}  // namespace pmx

@@ -1,0 +1,150 @@
+#include "traffic/command_file.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pmx::command_file {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("command file line " + std::to_string(line) + ": " +
+                           what);
+}
+
+}  // namespace
+
+Workload parse(std::istream& in) {
+  Workload w;
+  bool have_nodes = false;
+  std::size_t current = 0;
+  bool have_current = false;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream ls(line);
+    std::string op;
+    if (!(ls >> op)) {
+      continue;  // blank or comment-only line
+    }
+    if (op == "nodes") {
+      std::size_t n = 0;
+      if (!(ls >> n) || n == 0) {
+        fail(lineno, "expected positive node count");
+      }
+      if (have_nodes) {
+        fail(lineno, "duplicate 'nodes' declaration");
+      }
+      w.programs.resize(n);
+      have_nodes = true;
+      continue;
+    }
+    if (!have_nodes) {
+      fail(lineno, "'nodes <n>' must come first");
+    }
+    if (op == "node") {
+      std::size_t id = 0;
+      if (!(ls >> id) || id >= w.programs.size()) {
+        fail(lineno, "invalid node id");
+      }
+      current = id;
+      have_current = true;
+      continue;
+    }
+    if (!have_current) {
+      fail(lineno, "command before any 'node' declaration");
+    }
+    if (op == "send") {
+      std::size_t dst = 0;
+      std::uint64_t bytes = 0;
+      if (!(ls >> dst >> bytes) || dst >= w.programs.size() || bytes == 0) {
+        fail(lineno, "expected 'send <dst> <bytes>'");
+      }
+      if (dst == current) {
+        fail(lineno, "send to self");
+      }
+      w.programs[current].push_back(Command::send(dst, bytes));
+    } else if (op == "barrier") {
+      w.programs[current].push_back(Command::barrier());
+    } else if (op == "flush") {
+      w.programs[current].push_back(Command::flush());
+    } else if (op == "compute") {
+      std::int64_t ns = 0;
+      if (!(ls >> ns) || ns < 0) {
+        fail(lineno, "expected 'compute <ns>'");
+      }
+      w.programs[current].push_back(Command::compute(TimeNs{ns}));
+    } else {
+      fail(lineno, "unknown command '" + op + "'");
+    }
+    std::string extra;
+    if (ls >> extra) {
+      fail(lineno, "trailing tokens after command");
+    }
+  }
+  if (!have_nodes) {
+    fail(lineno, "empty command file");
+  }
+  return w;
+}
+
+Workload parse_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+Workload load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open command file: " + path);
+  }
+  return parse(in);
+}
+
+void write(std::ostream& out, const Workload& workload) {
+  out << "nodes " << workload.programs.size() << "\n";
+  for (std::size_t u = 0; u < workload.programs.size(); ++u) {
+    if (workload.programs[u].empty()) {
+      continue;
+    }
+    out << "node " << u << "\n";
+    for (const auto& cmd : workload.programs[u]) {
+      switch (cmd.kind) {
+        case Command::Kind::kSend:
+          out << "send " << cmd.dst << " " << cmd.bytes << "\n";
+          break;
+        case Command::Kind::kBarrier:
+          out << "barrier\n";
+          break;
+        case Command::Kind::kFlush:
+          out << "flush\n";
+          break;
+        case Command::Kind::kCompute:
+          out << "compute " << cmd.delay.ns() << "\n";
+          break;
+      }
+    }
+  }
+}
+
+std::string to_string(const Workload& workload) {
+  std::ostringstream out;
+  write(out, workload);
+  return out.str();
+}
+
+void save(const std::string& path, const Workload& workload) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write command file: " + path);
+  }
+  write(out, workload);
+}
+
+}  // namespace pmx::command_file

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "traffic/program.hpp"
+
+namespace pmx {
+
+/// Textual "command file" format describing each processor's communication
+/// sequence (the simulator input format of Section 5).
+///
+/// Grammar (one statement per line, '#' starts a comment):
+///
+///   nodes <n>          -- declares the node count; must come first
+///   node <id>          -- subsequent commands belong to this node
+///   send <dst> <bytes> -- transmit
+///   barrier            -- global barrier (applies to the current node's
+///                         program; every node must list it)
+///   flush              -- compiler flush hint
+///   compute <ns>       -- local computation delay
+///
+/// Example:
+///   nodes 4
+///   node 0
+///   send 1 64
+///   barrier
+///   send 2 64
+///   node 1
+///   barrier
+namespace command_file {
+
+/// Parse a workload. Throws std::runtime_error with a line number on
+/// malformed input.
+[[nodiscard]] Workload parse(std::istream& in);
+[[nodiscard]] Workload parse_string(const std::string& text);
+/// Read a workload from a file path.
+[[nodiscard]] Workload load(const std::string& path);
+
+/// Serialize a workload in the same format (stable round-trip).
+void write(std::ostream& out, const Workload& workload);
+[[nodiscard]] std::string to_string(const Workload& workload);
+/// Write a workload to a file path.
+void save(const std::string& path, const Workload& workload);
+
+}  // namespace command_file
+}  // namespace pmx

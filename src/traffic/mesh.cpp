@@ -1,0 +1,46 @@
+#include "traffic/mesh.hpp"
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+Mesh2D Mesh2D::square_ish(std::size_t n) {
+  PMX_CHECK(n >= 1, "mesh must have at least one node");
+  std::size_t best = 1;
+  for (std::size_t w = 1; w * w <= n; ++w) {
+    if (n % w == 0) {
+      best = w;
+    }
+  }
+  return Mesh2D{n / best, best};
+}
+
+Mesh2D::Mesh2D(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  PMX_CHECK(width_ >= 1 && height_ >= 1, "degenerate mesh");
+}
+
+NodeId Mesh2D::neighbor(NodeId node, Dir dir) const {
+  PMX_CHECK(node < size(), "node out of range");
+  const std::size_t x = x_of(node);
+  const std::size_t y = y_of(node);
+  switch (dir) {
+    case Dir::kEast:
+      return node_at((x + 1) % width_, y);
+    case Dir::kWest:
+      return node_at((x + width_ - 1) % width_, y);
+    case Dir::kNorth:
+      return node_at(x, (y + height_ - 1) % height_);
+    case Dir::kSouth:
+      return node_at(x, (y + 1) % height_);
+  }
+  PMX_CHECK(false, "invalid direction");
+  return 0;
+}
+
+std::array<NodeId, 4> Mesh2D::neighbors(NodeId node) const {
+  return {neighbor(node, Dir::kEast), neighbor(node, Dir::kWest),
+          neighbor(node, Dir::kNorth), neighbor(node, Dir::kSouth)};
+}
+
+}  // namespace pmx

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "nic/message.hpp"
+
+namespace pmx {
+
+/// 2D torus/mesh node arithmetic for the nearest-neighbour patterns.
+///
+/// The paper's Random/Ordered Mesh tests use "nearest neighbor
+/// communications for a 2D mesh" with 4 destinations per node; we use a
+/// torus so every node has exactly four neighbours (the natural embedding of
+/// a 128-node machine is 16x8).
+class Mesh2D {
+ public:
+  enum class Dir : std::size_t { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
+  static constexpr std::array<Dir, 4> kDirs{Dir::kEast, Dir::kWest,
+                                            Dir::kNorth, Dir::kSouth};
+
+  /// Build a mesh of `n` nodes with automatically chosen near-square
+  /// dimensions (largest divisor pair).
+  static Mesh2D square_ish(std::size_t n);
+
+  Mesh2D(std::size_t width, std::size_t height);
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t height() const { return height_; }
+  [[nodiscard]] std::size_t size() const { return width_ * height_; }
+
+  [[nodiscard]] std::size_t x_of(NodeId node) const { return node % width_; }
+  [[nodiscard]] std::size_t y_of(NodeId node) const { return node / width_; }
+  [[nodiscard]] NodeId node_at(std::size_t x, std::size_t y) const {
+    return y * width_ + x;
+  }
+
+  /// Torus neighbour in the given direction.
+  [[nodiscard]] NodeId neighbor(NodeId node, Dir dir) const;
+  /// All four torus neighbours in direction order E, W, N, S.
+  [[nodiscard]] std::array<NodeId, 4> neighbors(NodeId node) const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+};
+
+}  // namespace pmx

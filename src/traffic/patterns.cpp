@@ -1,0 +1,188 @@
+#include "traffic/patterns.hpp"
+
+#include <cmath>
+#include <span>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "traffic/mesh.hpp"
+
+namespace pmx::patterns {
+
+Workload scatter(std::size_t n, std::uint64_t bytes, NodeId root) {
+  PMX_CHECK(root < n, "scatter root out of range");
+  Workload w;
+  w.programs.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != root) {
+      w.programs[root].push_back(Command::send(v, bytes));
+    }
+  }
+  return w;
+}
+
+Workload ordered_mesh(std::size_t n, std::uint64_t bytes, std::size_t rounds) {
+  const Mesh2D mesh = Mesh2D::square_ish(n);
+  Workload w;
+  w.programs.resize(n);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (const Mesh2D::Dir dir : Mesh2D::kDirs) {
+      for (NodeId u = 0; u < n; ++u) {
+        w.programs[u].push_back(Command::send(mesh.neighbor(u, dir), bytes));
+      }
+    }
+  }
+  return w;
+}
+
+Workload random_mesh(std::size_t n, std::uint64_t bytes, std::size_t rounds,
+                     std::uint64_t seed) {
+  const Mesh2D mesh = Mesh2D::square_ish(n);
+  Workload w;
+  w.programs.resize(n);
+  Rng master(seed);
+  for (NodeId u = 0; u < n; ++u) {
+    Rng rng = master.split();
+    // Same traffic volume as ordered_mesh (each neighbour `rounds` times)
+    // but in a per-node random order: nearest-neighbour locality with no
+    // predictability, which is how the paper distinguishes the two.
+    std::vector<Mesh2D::Dir> dirs;
+    dirs.reserve(4 * rounds);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      dirs.insert(dirs.end(), Mesh2D::kDirs.begin(), Mesh2D::kDirs.end());
+    }
+    rng.shuffle(std::span<Mesh2D::Dir>{dirs});
+    for (const Mesh2D::Dir dir : dirs) {
+      w.programs[u].push_back(Command::send(mesh.neighbor(u, dir), bytes));
+    }
+  }
+  return w;
+}
+
+Workload all_to_all(std::size_t n, std::uint64_t bytes) {
+  Workload w;
+  w.programs.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t step = 1; step < n; ++step) {
+      w.programs[u].push_back(Command::send((u + step) % n, bytes));
+    }
+  }
+  return w;
+}
+
+Workload two_phase(std::size_t n, std::uint64_t bytes, std::uint64_t seed,
+                   std::size_t mesh_rounds) {
+  Workload w = all_to_all(n, bytes);
+  const Mesh2D mesh = Mesh2D::square_ish(n);
+  Rng master(seed);
+  for (NodeId u = 0; u < n; ++u) {
+    Rng rng = master.split();
+    w.programs[u].push_back(Command::barrier());
+    // "followed by 16 random nearest neighbor communications"
+    for (std::size_t i = 0; i < 4 * mesh_rounds; ++i) {
+      const auto dir = static_cast<Mesh2D::Dir>(rng.below(4));
+      w.programs[u].push_back(Command::send(mesh.neighbor(u, dir), bytes));
+    }
+  }
+  return w;
+}
+
+NodeId favored_destination(std::size_t n, NodeId node, std::size_t j,
+                           std::size_t favored) {
+  PMX_CHECK(favored >= 1 && j < favored, "favored index out of range");
+  // Spread the favored destinations so that destination set j forms a
+  // permutation across nodes (preloadable as one configuration each).
+  return (node + j * (n / favored) + 1) % n;
+}
+
+Workload determinism_mix(std::size_t n, std::uint64_t bytes,
+                         double determinism, std::size_t count,
+                         std::size_t favored, std::uint64_t seed) {
+  PMX_CHECK(determinism >= 0.0 && determinism <= 1.0,
+            "determinism must be in [0,1]");
+  Workload w;
+  w.programs.resize(n);
+  Rng master(seed);
+  for (NodeId u = 0; u < n; ++u) {
+    Rng rng = master.split();
+    for (std::size_t i = 0; i < count; ++i) {
+      NodeId dst;
+      if (rng.chance(determinism)) {
+        dst = favored_destination(n, u, rng.below(favored), favored);
+      } else {
+        dst = static_cast<NodeId>(rng.below(n - 1));
+        if (dst >= u) {
+          ++dst;  // skip self
+        }
+      }
+      w.programs[u].push_back(Command::send(dst, bytes));
+    }
+  }
+  return w;
+}
+
+Workload uniform_random(std::size_t n, std::uint64_t bytes, std::size_t count,
+                        std::uint64_t seed) {
+  PMX_CHECK(n >= 2, "uniform traffic needs at least two nodes");
+  Workload w;
+  w.programs.resize(n);
+  Rng master(seed);
+  for (NodeId u = 0; u < n; ++u) {
+    Rng rng = master.split();
+    for (std::size_t i = 0; i < count; ++i) {
+      auto dst = static_cast<NodeId>(rng.below(n - 1));
+      if (dst >= u) {
+        ++dst;
+      }
+      w.programs[u].push_back(Command::send(dst, bytes));
+    }
+  }
+  return w;
+}
+
+Workload hotspot(std::size_t n, std::uint64_t bytes, std::size_t count,
+                 NodeId hot, double fraction, std::uint64_t seed) {
+  PMX_CHECK(hot < n, "hotspot node out of range");
+  PMX_CHECK(fraction >= 0.0 && fraction <= 1.0, "fraction must be in [0,1]");
+  Workload w;
+  w.programs.resize(n);
+  Rng master(seed);
+  for (NodeId u = 0; u < n; ++u) {
+    Rng rng = master.split();
+    for (std::size_t i = 0; i < count; ++i) {
+      NodeId dst;
+      if (u != hot && rng.chance(fraction)) {
+        dst = hot;
+      } else {
+        dst = static_cast<NodeId>(rng.below(n - 1));
+        if (dst >= u) {
+          ++dst;
+        }
+      }
+      w.programs[u].push_back(Command::send(dst, bytes));
+    }
+  }
+  return w;
+}
+
+Workload transpose(std::size_t n, std::uint64_t bytes, std::size_t rounds) {
+  const auto side = static_cast<std::size_t>(std::llround(std::sqrt(
+      static_cast<double>(n))));
+  PMX_CHECK(side * side == n, "transpose requires a square node count");
+  Workload w;
+  w.programs.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const std::size_t x = u % side;
+    const std::size_t y = u / side;
+    const NodeId dst = x * side + y;
+    if (dst == u) {
+      continue;  // diagonal nodes have no partner
+    }
+    for (std::size_t r = 0; r < rounds; ++r) {
+      w.programs[u].push_back(Command::send(dst, bytes));
+    }
+  }
+  return w;
+}
+
+}  // namespace pmx::patterns

@@ -1,0 +1,111 @@
+#include "traffic/program.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+std::uint64_t Workload::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& prog : programs) {
+    for (const auto& cmd : prog) {
+      if (cmd.kind == Command::Kind::kSend) {
+        total += cmd.bytes;
+      }
+    }
+  }
+  return total;
+}
+
+std::size_t Workload::num_messages() const {
+  std::size_t count = 0;
+  for (const auto& prog : programs) {
+    count += static_cast<std::size_t>(
+        std::count_if(prog.begin(), prog.end(), [](const Command& c) {
+          return c.kind == Command::Kind::kSend;
+        }));
+  }
+  return count;
+}
+
+std::size_t Workload::num_phases() const {
+  std::size_t barriers = 0;
+  bool first = true;
+  for (const auto& prog : programs) {
+    const auto b = static_cast<std::size_t>(
+        std::count_if(prog.begin(), prog.end(), [](const Command& c) {
+          return c.kind == Command::Kind::kBarrier;
+        }));
+    if (first) {
+      barriers = b;
+      first = false;
+    } else {
+      PMX_CHECK(b == barriers, "programs disagree on barrier count");
+    }
+  }
+  return barriers + 1;
+}
+
+std::uint64_t Workload::max_injection_bytes() const {
+  std::uint64_t worst = 0;
+  for (const auto& prog : programs) {
+    std::uint64_t sum = 0;
+    for (const auto& cmd : prog) {
+      if (cmd.kind == Command::Kind::kSend) {
+        sum += cmd.bytes;
+      }
+    }
+    worst = std::max(worst, sum);
+  }
+  return worst;
+}
+
+std::uint64_t Workload::max_ejection_bytes() const {
+  std::vector<std::uint64_t> in(programs.size(), 0);
+  for (const auto& prog : programs) {
+    for (const auto& cmd : prog) {
+      if (cmd.kind == Command::Kind::kSend) {
+        PMX_CHECK(cmd.dst < in.size(), "send destination out of range");
+        in[cmd.dst] += cmd.bytes;
+      }
+    }
+  }
+  std::uint64_t worst = 0;
+  for (const auto b : in) {
+    worst = std::max(worst, b);
+  }
+  return worst;
+}
+
+TimeNs Workload::ideal_makespan(double bytes_per_ns) const {
+  PMX_CHECK(bytes_per_ns > 0.0, "line rate must be positive");
+  const std::size_t phases = num_phases();
+  const std::size_t n = programs.size();
+  double total_ns = 0.0;
+  for (std::size_t phase = 0; phase < phases; ++phase) {
+    std::vector<std::uint64_t> inj(n, 0);
+    std::vector<std::uint64_t> ej(n, 0);
+    for (std::size_t u = 0; u < n; ++u) {
+      std::size_t p = 0;
+      for (const auto& cmd : programs[u]) {
+        if (cmd.kind == Command::Kind::kBarrier) {
+          ++p;
+          continue;
+        }
+        if (p == phase && cmd.kind == Command::Kind::kSend) {
+          inj[u] += cmd.bytes;
+          ej[cmd.dst] += cmd.bytes;
+        }
+      }
+    }
+    std::uint64_t worst = 0;
+    for (std::size_t u = 0; u < n; ++u) {
+      worst = std::max({worst, inj[u], ej[u]});
+    }
+    total_ns += static_cast<double>(worst) / bytes_per_ns;
+  }
+  return TimeNs{static_cast<std::int64_t>(total_ns)};
+}
+
+}  // namespace pmx

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "nic/message.hpp"
+
+namespace pmx {
+
+/// One step of a per-processor "command file" (Section 5: "Each of the 128
+/// processors ... contains a command file that defines the type and sequence
+/// of communications that occur").
+struct Command {
+  enum class Kind : std::uint8_t {
+    kSend,     ///< transmit `bytes` to `dst`; next command issues when the
+               ///< last byte has left this NIC
+    kBarrier,  ///< wait until every node has reached this barrier
+    kFlush,    ///< compiler hint: flush dynamically established connections
+               ///< (Section 3.3), then continue
+    kCompute,  ///< local computation for `delay` ns (no communication)
+  };
+
+  Kind kind = Kind::kSend;
+  NodeId dst = 0;
+  std::uint64_t bytes = 0;
+  TimeNs delay{};
+
+  static Command send(NodeId dst, std::uint64_t bytes) {
+    return Command{Kind::kSend, dst, bytes, TimeNs::zero()};
+  }
+  static Command barrier() {
+    return Command{Kind::kBarrier, 0, 0, TimeNs::zero()};
+  }
+  static Command flush() { return Command{Kind::kFlush, 0, 0, TimeNs::zero()}; }
+  static Command compute(TimeNs delay) {
+    return Command{Kind::kCompute, 0, 0, delay};
+  }
+
+  bool operator==(const Command&) const = default;
+};
+
+using Program = std::vector<Command>;
+
+/// A complete workload: one program per node.
+struct Workload {
+  std::vector<Program> programs;
+
+  [[nodiscard]] std::size_t num_nodes() const { return programs.size(); }
+  /// Total payload bytes across all sends.
+  [[nodiscard]] std::uint64_t total_bytes() const;
+  /// Number of send commands.
+  [[nodiscard]] std::size_t num_messages() const;
+  /// Number of barrier-delimited phases (1 + number of barriers in the
+  /// longest program; all programs must agree on barrier count).
+  [[nodiscard]] std::size_t num_phases() const;
+  /// Heaviest per-node injection load in bytes (max over sources of the sum
+  /// of their send sizes).
+  [[nodiscard]] std::uint64_t max_injection_bytes() const;
+  /// Heaviest per-node ejection load in bytes (max over destinations).
+  [[nodiscard]] std::uint64_t max_ejection_bytes() const;
+  /// Serialization lower bound on the makespan at `bytes_per_ns` line rate:
+  /// the busiest port, summed per phase (barriers serialize phases).
+  [[nodiscard]] TimeNs ideal_makespan(double bytes_per_ns) const;
+};
+
+}  // namespace pmx

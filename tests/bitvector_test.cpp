@@ -1,0 +1,170 @@
+#include "common/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace pmx {
+namespace {
+
+TEST(BitVector, DefaultIsEmpty) {
+  BitVector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVector, ConstructAllZero) {
+  BitVector v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_TRUE(v.none());
+  EXPECT_FALSE(v.any());
+}
+
+TEST(BitVector, ConstructAllOne) {
+  BitVector v(100, true);
+  EXPECT_EQ(v.count(), 100u);
+  EXPECT_TRUE(v.any());
+  EXPECT_FALSE(v.none());
+}
+
+TEST(BitVector, AllOneTailIsTrimmed) {
+  // 65 bits spans two words; the second word must not carry stray bits.
+  BitVector v(65, true);
+  EXPECT_EQ(v.count(), 65u);
+  v.clear(64);
+  EXPECT_EQ(v.count(), 64u);
+}
+
+TEST(BitVector, SetGetClear) {
+  BitVector v(128);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(127);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(127));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.count(), 4u);
+  v.clear(63);
+  EXPECT_FALSE(v.get(63));
+  EXPECT_EQ(v.count(), 3u);
+}
+
+TEST(BitVector, ResetAndFill) {
+  BitVector v(70);
+  v.set(3);
+  v.reset();
+  EXPECT_TRUE(v.none());
+  v.fill();
+  EXPECT_EQ(v.count(), 70u);
+}
+
+TEST(BitVector, FindFirst) {
+  BitVector v(200);
+  EXPECT_EQ(v.find_first(), 200u);
+  v.set(150);
+  EXPECT_EQ(v.find_first(), 150u);
+  v.set(7);
+  EXPECT_EQ(v.find_first(), 7u);
+}
+
+TEST(BitVector, FindNext) {
+  BitVector v(200);
+  v.set(10);
+  v.set(64);
+  v.set(199);
+  EXPECT_EQ(v.find_next(0), 10u);
+  EXPECT_EQ(v.find_next(10), 10u);
+  EXPECT_EQ(v.find_next(11), 64u);
+  EXPECT_EQ(v.find_next(65), 199u);
+  EXPECT_EQ(v.find_next(200), 200u);
+}
+
+TEST(BitVector, FindNextWrap) {
+  BitVector v(100);
+  v.set(5);
+  EXPECT_EQ(v.find_next_wrap(50), 5u);  // wraps around
+  EXPECT_EQ(v.find_next_wrap(5), 5u);
+  EXPECT_EQ(v.find_next_wrap(0), 5u);
+  BitVector empty(100);
+  EXPECT_EQ(empty.find_next_wrap(3), 100u);
+}
+
+TEST(BitVector, BitwiseOps) {
+  BitVector a(80);
+  BitVector b(80);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  EXPECT_EQ((a | b).count(), 3u);
+  EXPECT_EQ((a & b).count(), 1u);
+  EXPECT_EQ((a ^ b).count(), 2u);
+  EXPECT_TRUE((a & b).get(2));
+}
+
+TEST(BitVector, Equality) {
+  BitVector a(50);
+  BitVector b(50);
+  EXPECT_EQ(a, b);
+  a.set(10);
+  EXPECT_NE(a, b);
+  b.set(10);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVector, ToString) {
+  BitVector v(5);
+  v.set(1);
+  v.set(4);
+  EXPECT_EQ(v.to_string(), "01001");
+}
+
+// Property: count() equals the number of get()==true positions for random
+// contents at awkward sizes around word boundaries.
+class BitVectorPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVectorPropertyTest, CountMatchesEnumeration) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 7919 + 13);
+  BitVector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) {
+      v.set(i);
+    }
+  }
+  std::size_t manual = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    manual += v.get(i) ? 1u : 0u;
+  }
+  EXPECT_EQ(v.count(), manual);
+}
+
+TEST_P(BitVectorPropertyTest, FindIterationVisitsExactlySetBits) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 104729 + 1);
+  BitVector v(n);
+  std::vector<std::size_t> expected;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(0.2)) {
+      v.set(i);
+      expected.push_back(i);
+    }
+  }
+  std::vector<std::size_t> visited;
+  for (std::size_t i = v.find_first(); i < n; i = v.find_next(i + 1)) {
+    visited.push_back(i);
+  }
+  EXPECT_EQ(visited, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorPropertyTest,
+                         ::testing::Values(1, 2, 63, 64, 65, 127, 128, 129,
+                                           200, 1000));
+
+}  // namespace
+}  // namespace pmx

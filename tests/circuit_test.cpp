@@ -1,0 +1,134 @@
+#include "switching/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace pmx {
+namespace {
+
+SystemParams small_params(std::size_t n = 8) {
+  SystemParams p;
+  p.num_nodes = n;
+  return p;
+}
+
+TEST(Circuit, SingleMessageTiming) {
+  // Establishment: 10 ns NIC + 80 ns request wire + 80 ns scheduling +
+  // 80 ns grant wire = 250 ns; then 2048 B at 0.8 B/ns = 2560 ns;
+  // delivery adds the 100 ns passive path + 10 ns receive NIC.
+  Simulator sim;
+  CircuitNetwork net(sim, small_params());
+  net.submit(0, 1, 2048);
+  sim.run();
+  ASSERT_EQ(net.records().size(), 1u);
+  const auto& rec = net.records()[0];
+  EXPECT_EQ(rec.send_done.ns(), 250 + 2560);
+  EXPECT_EQ(rec.delivered.ns(), 250 + 2560 + 100 + 10);
+  EXPECT_EQ(net.counters().value("circuits_established"), 1u);
+}
+
+TEST(Circuit, SmallMessageDominatedByEstablishment) {
+  Simulator sim;
+  CircuitNetwork net(sim, small_params());
+  net.submit(0, 1, 8);
+  sim.run();
+  const auto& rec = net.records()[0];
+  // 250 ns of control for 10 ns of data.
+  EXPECT_EQ(rec.send_done.ns(), 250 + 10);
+}
+
+TEST(Circuit, PerMessageReestablishment) {
+  Simulator sim;
+  CircuitNetwork net(sim, small_params());
+  net.submit(0, 1, 64);
+  net.submit(0, 1, 64);
+  sim.run();
+  // Without circuit holding, the second message pays establishment again.
+  EXPECT_EQ(net.counters().value("circuits_established"), 2u);
+  EXPECT_EQ(net.counters().value("circuit_reuses"), 0u);
+}
+
+TEST(Circuit, HoldingReusesCircuitForSameDestination) {
+  Simulator sim;
+  CircuitNetwork::Options options;
+  options.hold_circuits = true;
+  CircuitNetwork net(sim, small_params(), options);
+  net.submit(0, 1, 64);
+  net.submit(0, 1, 64);
+  net.submit(0, 1, 64);
+  sim.run();
+  EXPECT_EQ(net.counters().value("circuits_established"), 1u);
+  EXPECT_EQ(net.counters().value("circuit_reuses"), 2u);
+  EXPECT_EQ(net.records().size(), 3u);
+}
+
+TEST(Circuit, HoldingTornDownOnDestinationChange) {
+  Simulator sim;
+  CircuitNetwork::Options options;
+  options.hold_circuits = true;
+  CircuitNetwork net(sim, small_params(), options);
+  net.submit(0, 1, 64);
+  net.submit(0, 2, 64);
+  sim.run();
+  EXPECT_EQ(net.counters().value("circuits_established"), 2u);
+  EXPECT_EQ(net.records().size(), 2u);
+}
+
+TEST(Circuit, OutputContentionQueuesFifo) {
+  Simulator sim;
+  CircuitNetwork net(sim, small_params());
+  net.submit(0, 3, 512);
+  net.submit(1, 3, 512);
+  net.submit(2, 3, 512);
+  sim.run();
+  ASSERT_EQ(net.records().size(), 3u);
+  EXPECT_EQ(net.counters().value("circuit_waits"), 2u);
+  // Transfers to one output cannot overlap: successive send_done at least
+  // one transmission apart.
+  std::vector<std::int64_t> done;
+  for (const auto& rec : net.records()) {
+    done.push_back(rec.send_done.ns());
+  }
+  std::sort(done.begin(), done.end());
+  EXPECT_GE(done[1] - done[0], 640);
+  EXPECT_GE(done[2] - done[1], 640);
+}
+
+TEST(Circuit, DisjointCircuitsOverlap) {
+  Simulator sim;
+  CircuitNetwork net(sim, small_params());
+  net.submit(0, 2, 512);
+  net.submit(1, 3, 512);
+  sim.run();
+  EXPECT_EQ(net.records()[0].send_done, net.records()[1].send_done);
+}
+
+TEST(Circuit, IdleSourceReleasesHeldCircuit) {
+  Simulator sim;
+  CircuitNetwork::Options options;
+  options.hold_circuits = true;
+  CircuitNetwork net(sim, small_params(), options);
+  net.submit(0, 3, 64);
+  sim.run();
+  // Source 0 went idle and released; source 1 must be able to reach 3.
+  net.submit(1, 3, 64);
+  sim.run();
+  EXPECT_EQ(net.records().size(), 2u);
+  EXPECT_EQ(net.counters().value("circuit_waits"), 0u);
+}
+
+TEST(Circuit, PerSourceFifoOrdering) {
+  Simulator sim;
+  CircuitNetwork net(sim, small_params());
+  net.submit(0, 1, 64);
+  net.submit(0, 2, 64);
+  sim.run();
+  ASSERT_EQ(net.records().size(), 2u);
+  EXPECT_EQ(net.records()[0].msg.dst, 1u);
+  EXPECT_EQ(net.records()[1].msg.dst, 2u);
+  EXPECT_LT(net.records()[0].send_done, net.records()[1].send_done);
+}
+
+}  // namespace
+}  // namespace pmx

@@ -1,0 +1,148 @@
+#include "traffic/command_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include "traffic/patterns.hpp"
+
+namespace pmx {
+namespace {
+
+TEST(CommandFile, ParsesBasicTrace) {
+  const Workload w = command_file::parse_string(R"(
+nodes 3
+node 0
+send 1 64
+send 2 128
+node 1
+compute 500
+send 0 8
+)");
+  EXPECT_EQ(w.num_nodes(), 3u);
+  ASSERT_EQ(w.programs[0].size(), 2u);
+  EXPECT_EQ(w.programs[0][0].dst, 1u);
+  EXPECT_EQ(w.programs[0][0].bytes, 64u);
+  ASSERT_EQ(w.programs[1].size(), 2u);
+  EXPECT_EQ(w.programs[1][0].kind, Command::Kind::kCompute);
+  EXPECT_EQ(w.programs[1][0].delay.ns(), 500);
+  EXPECT_TRUE(w.programs[2].empty());
+}
+
+TEST(CommandFile, ParsesBarrierAndFlush) {
+  const Workload w = command_file::parse_string(R"(
+nodes 2
+node 0
+barrier
+flush
+node 1
+barrier
+)");
+  EXPECT_EQ(w.programs[0][0].kind, Command::Kind::kBarrier);
+  EXPECT_EQ(w.programs[0][1].kind, Command::Kind::kFlush);
+  EXPECT_EQ(w.num_phases(), 2u);
+}
+
+TEST(CommandFile, IgnoresCommentsAndBlankLines) {
+  const Workload w = command_file::parse_string(R"(
+# full comment line
+nodes 2
+
+node 0   # trailing comment
+send 1 64  # another
+)");
+  EXPECT_EQ(w.num_messages(), 1u);
+}
+
+TEST(CommandFile, RoundTripsScatter) {
+  const Workload original = patterns::scatter(8, 256);
+  const std::string text = command_file::to_string(original);
+  const Workload parsed = command_file::parse_string(text);
+  EXPECT_EQ(parsed.programs, original.programs);
+}
+
+TEST(CommandFile, RoundTripsTwoPhase) {
+  const Workload original = patterns::two_phase(8, 64, 5);
+  const Workload parsed =
+      command_file::parse_string(command_file::to_string(original));
+  EXPECT_EQ(parsed.programs, original.programs);
+}
+
+TEST(CommandFile, SaveAndLoadFile) {
+  const Workload original = patterns::random_mesh(16, 32, 1, 7);
+  const std::string path = ::testing::TempDir() + "/pmx_trace_test.trace";
+  command_file::save(path, original);
+  const Workload loaded = command_file::load(path);
+  EXPECT_EQ(loaded.programs, original.programs);
+}
+
+TEST(CommandFile, ErrorMissingNodesHeader) {
+  EXPECT_THROW((void)command_file::parse_string("node 0\nsend 1 8\n"),
+               std::runtime_error);
+}
+
+TEST(CommandFile, ErrorCommandBeforeNode) {
+  EXPECT_THROW((void)command_file::parse_string("nodes 2\nsend 1 8\n"),
+               std::runtime_error);
+}
+
+TEST(CommandFile, ErrorNodeIdOutOfRange) {
+  EXPECT_THROW((void)command_file::parse_string("nodes 2\nnode 5\n"),
+               std::runtime_error);
+}
+
+TEST(CommandFile, ErrorDestinationOutOfRange) {
+  EXPECT_THROW(
+      (void)command_file::parse_string("nodes 2\nnode 0\nsend 7 8\n"),
+      std::runtime_error);
+}
+
+TEST(CommandFile, ErrorSelfSend) {
+  EXPECT_THROW(
+      (void)command_file::parse_string("nodes 2\nnode 0\nsend 0 8\n"),
+      std::runtime_error);
+}
+
+TEST(CommandFile, ErrorZeroBytes) {
+  EXPECT_THROW(
+      (void)command_file::parse_string("nodes 2\nnode 0\nsend 1 0\n"),
+      std::runtime_error);
+}
+
+TEST(CommandFile, ErrorUnknownCommand) {
+  EXPECT_THROW(
+      (void)command_file::parse_string("nodes 2\nnode 0\nfrobnicate\n"),
+      std::runtime_error);
+}
+
+TEST(CommandFile, ErrorTrailingTokens) {
+  EXPECT_THROW(
+      (void)command_file::parse_string("nodes 2\nnode 0\nsend 1 8 9\n"),
+      std::runtime_error);
+}
+
+TEST(CommandFile, ErrorDuplicateNodesDeclaration) {
+  EXPECT_THROW((void)command_file::parse_string("nodes 2\nnodes 3\n"),
+               std::runtime_error);
+}
+
+TEST(CommandFile, ErrorNegativeCompute) {
+  EXPECT_THROW(
+      (void)command_file::parse_string("nodes 2\nnode 0\ncompute -5\n"),
+      std::runtime_error);
+}
+
+TEST(CommandFile, ErrorMessageCarriesLineNumber) {
+  try {
+    (void)command_file::parse_string("nodes 2\nnode 0\nbogus\n");
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(CommandFile, ErrorMissingFile) {
+  EXPECT_THROW((void)command_file::load("/nonexistent/path.trace"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pmx

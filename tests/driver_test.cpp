@@ -1,0 +1,192 @@
+#include "core/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "switching/wormhole.hpp"
+#include "traffic/patterns.hpp"
+
+namespace pmx {
+namespace {
+
+using namespace pmx::literals;
+
+SystemParams small_params(std::size_t n = 4) {
+  SystemParams p;
+  p.num_nodes = n;
+  return p;
+}
+
+TEST(TrafficDriver, RunsSimpleWorkloadToCompletion) {
+  Simulator sim;
+  WormholeNetwork net(sim, small_params());
+  Workload w;
+  w.programs.resize(4);
+  w.programs[0].push_back(Command::send(1, 64));
+  w.programs[1].push_back(Command::send(2, 64));
+  TrafficDriver driver(sim, net, w);
+  driver.start();
+  sim.run();
+  EXPECT_TRUE(driver.finished());
+  EXPECT_EQ(driver.messages_submitted(), 2u);
+  EXPECT_EQ(driver.messages_delivered(), 2u);
+}
+
+TEST(TrafficDriver, EagerModeOverlapsANodesSends) {
+  // In eager mode the second send is handed to the NIC one NIC cycle after
+  // the first, long before the first completes.
+  Simulator sim;
+  WormholeNetwork net(sim, small_params());
+  Workload w;
+  w.programs.resize(4);
+  w.programs[0].push_back(Command::send(1, 2048));
+  w.programs[0].push_back(Command::send(2, 64));
+  TrafficDriver driver(sim, net, w, SendMode::kEager);
+  driver.start();
+  sim.run();
+  ASSERT_EQ(net.records().size(), 2u);
+  TimeNs small_submit{};
+  for (const auto& rec : net.records()) {
+    if (rec.msg.dst == 2) {
+      small_submit = rec.msg.submit_time;
+    }
+  }
+  EXPECT_EQ(small_submit.ns(), 10);  // one NIC cycle after the first
+}
+
+TEST(TrafficDriver, BlockingModeSerializesANodesSends) {
+  Simulator sim;
+  WormholeNetwork net(sim, small_params());
+  Workload w;
+  w.programs.resize(4);
+  w.programs[0].push_back(Command::send(1, 2048));
+  w.programs[0].push_back(Command::send(2, 64));
+  TrafficDriver driver(sim, net, w, SendMode::kBlocking);
+  driver.start();
+  sim.run();
+  ASSERT_EQ(net.records().size(), 2u);
+  TimeNs big_send_done{};
+  TimeNs small_submit{};
+  for (const auto& rec : net.records()) {
+    if (rec.msg.dst == 1) {
+      big_send_done = rec.send_done;
+    } else {
+      small_submit = rec.msg.submit_time;
+    }
+  }
+  EXPECT_EQ(small_submit, big_send_done);
+}
+
+TEST(TrafficDriver, BarrierWaitsForAllNodesAndDrain) {
+  Simulator sim;
+  WormholeNetwork net(sim, small_params());
+  Workload w;
+  w.programs.resize(4);
+  for (auto& p : w.programs) {
+    p.push_back(Command::barrier());
+  }
+  w.programs[0].insert(w.programs[0].begin(), Command::send(1, 4096));
+  w.programs[2].push_back(Command::send(3, 64));  // phase-2 send
+  TrafficDriver driver(sim, net, w);
+  driver.start();
+  sim.run();
+  EXPECT_TRUE(driver.finished());
+  ASSERT_EQ(net.records().size(), 2u);
+  // The phase-2 message was submitted only after the phase-1 message was
+  // fully delivered.
+  TimeNs phase1_delivered{};
+  TimeNs phase2_submit{};
+  for (const auto& rec : net.records()) {
+    if (rec.msg.src == 0) {
+      phase1_delivered = rec.delivered;
+    } else {
+      phase2_submit = rec.msg.submit_time;
+    }
+  }
+  EXPECT_GE(phase2_submit, phase1_delivered);
+}
+
+TEST(TrafficDriver, PhaseCounterAdvancesAtBarrier) {
+  Simulator sim;
+  WormholeNetwork net(sim, small_params());
+  Workload w;
+  w.programs.resize(4);
+  for (auto& p : w.programs) {
+    p.push_back(Command::barrier());
+    p.push_back(Command::barrier());
+  }
+  TrafficDriver driver(sim, net, w);
+  driver.start();
+  sim.run();
+  EXPECT_TRUE(driver.finished());
+  for (NodeId u = 0; u < 4; ++u) {
+    EXPECT_EQ(driver.current_phase(u), 2u);
+  }
+}
+
+TEST(TrafficDriver, MessagesCarryPhaseTag) {
+  Simulator sim;
+  WormholeNetwork net(sim, small_params());
+  Workload w;
+  w.programs.resize(4);
+  for (auto& p : w.programs) {
+    p.push_back(Command::barrier());
+  }
+  w.programs[1].push_back(Command::send(0, 64));
+  TrafficDriver driver(sim, net, w);
+  driver.start();
+  sim.run();
+  ASSERT_EQ(net.records().size(), 1u);
+  EXPECT_EQ(net.records()[0].msg.phase, 1u);
+}
+
+TEST(TrafficDriver, ComputeDelaysNextCommand) {
+  Simulator sim;
+  WormholeNetwork net(sim, small_params());
+  Workload w;
+  w.programs.resize(4);
+  w.programs[0].push_back(Command::compute(5_us));
+  w.programs[0].push_back(Command::send(1, 64));
+  TrafficDriver driver(sim, net, w);
+  driver.start();
+  sim.run();
+  ASSERT_EQ(net.records().size(), 1u);
+  EXPECT_EQ(net.records()[0].msg.submit_time.ns(), 5000);
+}
+
+TEST(TrafficDriver, FlushForwardsHintWithoutBlocking) {
+  Simulator sim;
+  WormholeNetwork net(sim, small_params());
+  Workload w;
+  w.programs.resize(4);
+  w.programs[0].push_back(Command::flush());
+  w.programs[0].push_back(Command::send(1, 64));
+  TrafficDriver driver(sim, net, w);
+  driver.start();
+  sim.run();
+  EXPECT_TRUE(driver.finished());
+  EXPECT_EQ(net.records()[0].msg.submit_time.ns(), 0);
+}
+
+TEST(TrafficDriver, EmptyWorkloadFinishesImmediately) {
+  Simulator sim;
+  WormholeNetwork net(sim, small_params());
+  Workload w;
+  w.programs.resize(4);
+  TrafficDriver driver(sim, net, w);
+  driver.start();
+  sim.run();
+  EXPECT_TRUE(driver.finished());
+  EXPECT_EQ(sim.now(), 0_ns);
+}
+
+TEST(TrafficDriverDeathTest, RejectsNodeCountMismatch) {
+  Simulator sim;
+  WormholeNetwork net(sim, small_params(4));
+  Workload w;
+  w.programs.resize(8);
+  EXPECT_DEATH(TrafficDriver(sim, net, w), "node count");
+}
+
+}  // namespace
+}  // namespace pmx

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "fabric/crossbar.hpp"
+#include "fabric/link.hpp"
+
+namespace pmx {
+namespace {
+
+using namespace pmx::literals;
+
+TEST(LinkModel, PaperFlitTime) {
+  // 8-byte flit at 6.4 Gb/s is exactly 10 ns (Section 5).
+  LinkModel link;
+  EXPECT_EQ(link.serialization(8), 10_ns);
+}
+
+TEST(LinkModel, PaperSlotPayload) {
+  // "during a 1 us slot, 125 bytes ... per serial Gb/s link": at 6.4 Gb/s a
+  // 100 ns window carries 80 bytes.
+  LinkModel link;
+  EXPECT_EQ(link.serialization(80), 100_ns);
+  EXPECT_EQ(link.bytes_in(100_ns), 80u);
+  EXPECT_EQ(link.bytes_in(80_ns), 64u);
+}
+
+TEST(LinkModel, SerializationRoundsUp) {
+  LinkModel link;
+  // 1 byte = 1.25 ns -> rounds up to 2 ns.
+  EXPECT_EQ(link.serialization(1), 2_ns);
+  EXPECT_EQ(link.serialization(0), 0_ns);
+}
+
+TEST(LinkModel, BytesInNonPositiveWindow) {
+  LinkModel link;
+  EXPECT_EQ(link.bytes_in(0_ns), 0u);
+  EXPECT_EQ(link.bytes_in(TimeNs{-5}), 0u);
+}
+
+TEST(LinkModel, SegmentLatency) {
+  // 30 ns p2s + 20 ns wire + 30 ns s2p = 80 ns: the "cable delay" the paper
+  // charges for sending a circuit request to the scheduler.
+  LinkModel link;
+  EXPECT_EQ(link.segment_latency(), 80_ns);
+}
+
+TEST(LinkModel, ThroughPassiveSwitch) {
+  // NIC -> switch -> NIC point-to-point head latency 30+20+0+20+30 = 100 ns.
+  LinkModel link;
+  EXPECT_EQ(link.through_passive_switch(0_ns), 100_ns);
+  EXPECT_EQ(link.through_passive_switch(10_ns), 110_ns);
+}
+
+TEST(LinkModel, CustomBandwidth) {
+  LinkModel::Params p;
+  p.bandwidth_dgbps = 10;  // 1 Gb/s
+  LinkModel link(p);
+  // 125 bytes in 1 us at 1 Gb/s (the paper's example).
+  EXPECT_EQ(link.bytes_in(1_us), 125u);
+}
+
+TEST(Crossbar, HopDelayByKind) {
+  EXPECT_EQ(Crossbar(4, FabricKind::kDigital).hop_delay(), 10_ns);
+  EXPECT_EQ(Crossbar(4, FabricKind::kLvds).hop_delay(), 0_ns);
+  EXPECT_EQ(Crossbar(4, FabricKind::kOptical).hop_delay(), 0_ns);
+}
+
+TEST(Crossbar, StartsDisconnected) {
+  Crossbar xbar(8, FabricKind::kLvds);
+  for (std::size_t u = 0; u < 8; ++u) {
+    EXPECT_EQ(xbar.output_of(u), std::nullopt);
+    EXPECT_EQ(xbar.input_of(u), std::nullopt);
+  }
+}
+
+TEST(Crossbar, LoadConnects) {
+  Crossbar xbar(4, FabricKind::kLvds);
+  BitMatrix cfg(4);
+  cfg.set(0, 2);
+  cfg.set(3, 1);
+  xbar.load(cfg);
+  EXPECT_TRUE(xbar.connected(0, 2));
+  EXPECT_FALSE(xbar.connected(0, 1));
+  EXPECT_EQ(xbar.output_of(0), 2u);
+  EXPECT_EQ(xbar.input_of(2), 0u);
+  EXPECT_EQ(xbar.output_of(3), 1u);
+  EXPECT_EQ(xbar.output_of(1), std::nullopt);
+}
+
+TEST(Crossbar, StageDoesNotTakeEffectUntilCommit) {
+  Crossbar xbar(4, FabricKind::kLvds);
+  BitMatrix cfg(4);
+  cfg.set(1, 1);
+  xbar.stage(cfg);
+  EXPECT_FALSE(xbar.connected(1, 1));  // still the old (empty) config
+  xbar.commit();
+  EXPECT_TRUE(xbar.connected(1, 1));
+}
+
+TEST(Crossbar, ReconfigurationCountsOnlyChanges) {
+  Crossbar xbar(4, FabricKind::kLvds);
+  BitMatrix cfg(4);
+  cfg.set(0, 0);
+  xbar.load(cfg);
+  xbar.load(cfg);  // identical: commit but no reconfiguration
+  EXPECT_EQ(xbar.commits(), 2u);
+  EXPECT_EQ(xbar.reconfigurations(), 1u);
+  BitMatrix other(4);
+  other.set(0, 1);
+  xbar.load(other);
+  EXPECT_EQ(xbar.reconfigurations(), 2u);
+}
+
+TEST(CrossbarDeathTest, RejectsConflictedConfiguration) {
+  Crossbar xbar(4, FabricKind::kLvds);
+  BitMatrix bad(4);
+  bad.set(0, 1);
+  bad.set(2, 1);  // two inputs on output 1
+  EXPECT_DEATH(xbar.stage(bad), "partial permutation");
+}
+
+}  // namespace
+}  // namespace pmx

@@ -1,0 +1,68 @@
+#include "sched/latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmx {
+namespace {
+
+TEST(SchedulerLatencyModel, PaperPointsArePresent) {
+  const auto& pts = SchedulerLatencyModel::paper_table3();
+  ASSERT_EQ(pts.size(), 6u);
+  EXPECT_EQ(pts[0].n, 4u);
+  EXPECT_EQ(pts[0].fpga_ns, 34.0);
+  EXPECT_EQ(pts[5].n, 128u);
+  EXPECT_EQ(pts[5].fpga_ns, 385.0);
+}
+
+TEST(SchedulerLatencyModel, FitIsCloseToEveryPaperRow) {
+  SchedulerLatencyModel model;
+  for (const auto& p : SchedulerLatencyModel::paper_table3()) {
+    const double predicted = model.fpga_ns(p.n);
+    // Allow a few ns of fit error per row; Table 3 is noisy synthesis data.
+    EXPECT_NEAR(predicted, p.fpga_ns, 8.0) << "N=" << p.n;
+  }
+  EXPECT_LT(model.rms_error(), 5.0);
+}
+
+TEST(SchedulerLatencyModel, LatencyGrowsMonotonically) {
+  SchedulerLatencyModel model;
+  double prev = 0.0;
+  for (std::size_t n = 2; n <= 512; n *= 2) {
+    const double cur = model.fpga_ns(n);
+    EXPECT_GT(cur, prev) << "N=" << n;
+    prev = cur;
+  }
+}
+
+TEST(SchedulerLatencyModel, LinearTermDominatesAsymptotically) {
+  // Section 4: "the scheduling delay should be linearly proportional to the
+  // system size N". Doubling a large N should roughly double the latency.
+  SchedulerLatencyModel model;
+  const double r = model.fpga_ns(4096) / model.fpga_ns(2048);
+  EXPECT_GT(r, 1.8);
+  EXPECT_LT(r, 2.1);
+}
+
+TEST(SchedulerLatencyModel, AsicAnchorsTo80nsAt128) {
+  // The paper: "we conservatively chose the ASIC performance to be 80 ns for
+  // a 128x128 scheduler (about 5x better)".
+  SchedulerLatencyModel model;
+  EXPECT_NEAR(model.asic_ns(128), 80.0, 2.0);
+  EXPECT_EQ(model.asic_latency(128).ns(), 80);
+}
+
+TEST(SchedulerLatencyModel, AsicIsUniformlyFasterThanFpga) {
+  SchedulerLatencyModel model;
+  for (std::size_t n = 4; n <= 1024; n *= 2) {
+    EXPECT_LT(model.asic_ns(n), model.fpga_ns(n) / 4.0);
+  }
+}
+
+TEST(SchedulerLatencyModel, PositiveCoefficientsForGrowthTerms) {
+  SchedulerLatencyModel model;
+  EXPECT_GT(model.c1(), 0.0);  // log tree depth term
+  EXPECT_GT(model.c2(), 0.0);  // wavefront term
+}
+
+}  // namespace
+}  // namespace pmx

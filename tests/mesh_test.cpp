@@ -1,0 +1,92 @@
+#include "traffic/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pmx {
+namespace {
+
+TEST(Mesh2D, SquareIshPicksLargestDivisorPair) {
+  EXPECT_EQ(Mesh2D::square_ish(128).width(), 16u);
+  EXPECT_EQ(Mesh2D::square_ish(128).height(), 8u);
+  EXPECT_EQ(Mesh2D::square_ish(64).width(), 8u);
+  EXPECT_EQ(Mesh2D::square_ish(64).height(), 8u);
+  EXPECT_EQ(Mesh2D::square_ish(7).width(), 7u);  // prime: 7x1
+  EXPECT_EQ(Mesh2D::square_ish(7).height(), 1u);
+}
+
+TEST(Mesh2D, CoordinateRoundTrip) {
+  const Mesh2D mesh(16, 8);
+  for (NodeId u = 0; u < mesh.size(); ++u) {
+    EXPECT_EQ(mesh.node_at(mesh.x_of(u), mesh.y_of(u)), u);
+  }
+}
+
+TEST(Mesh2D, InteriorNeighbors) {
+  const Mesh2D mesh(4, 4);
+  const NodeId u = mesh.node_at(1, 1);  // node 5
+  EXPECT_EQ(mesh.neighbor(u, Mesh2D::Dir::kEast), mesh.node_at(2, 1));
+  EXPECT_EQ(mesh.neighbor(u, Mesh2D::Dir::kWest), mesh.node_at(0, 1));
+  EXPECT_EQ(mesh.neighbor(u, Mesh2D::Dir::kNorth), mesh.node_at(1, 0));
+  EXPECT_EQ(mesh.neighbor(u, Mesh2D::Dir::kSouth), mesh.node_at(1, 2));
+}
+
+TEST(Mesh2D, TorusWraparound) {
+  const Mesh2D mesh(4, 4);
+  EXPECT_EQ(mesh.neighbor(mesh.node_at(3, 0), Mesh2D::Dir::kEast),
+            mesh.node_at(0, 0));
+  EXPECT_EQ(mesh.neighbor(mesh.node_at(0, 0), Mesh2D::Dir::kWest),
+            mesh.node_at(3, 0));
+  EXPECT_EQ(mesh.neighbor(mesh.node_at(0, 0), Mesh2D::Dir::kNorth),
+            mesh.node_at(0, 3));
+  EXPECT_EQ(mesh.neighbor(mesh.node_at(0, 3), Mesh2D::Dir::kSouth),
+            mesh.node_at(0, 0));
+}
+
+TEST(Mesh2D, EachDirectionIsAPermutation) {
+  // The basis of the ordered-mesh preload configurations: every direction
+  // step maps nodes 1:1.
+  const Mesh2D mesh(16, 8);
+  for (const auto dir : Mesh2D::kDirs) {
+    std::set<NodeId> images;
+    for (NodeId u = 0; u < mesh.size(); ++u) {
+      images.insert(mesh.neighbor(u, dir));
+    }
+    EXPECT_EQ(images.size(), mesh.size());
+  }
+}
+
+TEST(Mesh2D, NeighborsMatchDirectionOrder) {
+  const Mesh2D mesh(4, 4);
+  const auto n = mesh.neighbors(5);
+  EXPECT_EQ(n[0], mesh.neighbor(5, Mesh2D::Dir::kEast));
+  EXPECT_EQ(n[1], mesh.neighbor(5, Mesh2D::Dir::kWest));
+  EXPECT_EQ(n[2], mesh.neighbor(5, Mesh2D::Dir::kNorth));
+  EXPECT_EQ(n[3], mesh.neighbor(5, Mesh2D::Dir::kSouth));
+}
+
+TEST(Mesh2D, EastWestAreInverse) {
+  const Mesh2D mesh(16, 8);
+  for (NodeId u = 0; u < mesh.size(); ++u) {
+    EXPECT_EQ(
+        mesh.neighbor(mesh.neighbor(u, Mesh2D::Dir::kEast),
+                      Mesh2D::Dir::kWest),
+        u);
+    EXPECT_EQ(
+        mesh.neighbor(mesh.neighbor(u, Mesh2D::Dir::kNorth),
+                      Mesh2D::Dir::kSouth),
+        u);
+  }
+}
+
+TEST(Mesh2D, DegenerateSingleRow) {
+  const Mesh2D mesh(4, 1);
+  // North/south wrap to the node itself in a height-1 torus.
+  EXPECT_EQ(mesh.neighbor(2, Mesh2D::Dir::kNorth), 2u);
+  EXPECT_EQ(mesh.neighbor(2, Mesh2D::Dir::kSouth), 2u);
+  EXPECT_EQ(mesh.neighbor(2, Mesh2D::Dir::kEast), 3u);
+}
+
+}  // namespace
+}  // namespace pmx

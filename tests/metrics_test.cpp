@@ -1,0 +1,79 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/driver.hpp"
+#include "sim/simulator.hpp"
+#include "switching/circuit.hpp"
+#include "traffic/patterns.hpp"
+
+namespace pmx {
+namespace {
+
+SystemParams small_params(std::size_t n = 4) {
+  SystemParams p;
+  p.num_nodes = n;
+  return p;
+}
+
+TEST(Metrics, EmptyRunYieldsZeros) {
+  Simulator sim;
+  CircuitNetwork net(sim, small_params());
+  Workload w;
+  w.programs.resize(4);
+  const RunMetrics m = compute_metrics(w, net);
+  EXPECT_EQ(m.messages, 0u);
+  EXPECT_EQ(m.total_bytes, 0u);
+  EXPECT_EQ(m.efficiency, 0.0);
+}
+
+TEST(Metrics, SingleTransferEfficiency) {
+  Simulator sim;
+  CircuitNetwork net(sim, small_params());
+  Workload w;
+  w.programs.resize(4);
+  w.programs[0].push_back(Command::send(1, 800));
+  TrafficDriver driver(sim, net, w);
+  driver.start();
+  sim.run();
+  const RunMetrics m = compute_metrics(w, net);
+  EXPECT_EQ(m.messages, 1u);
+  EXPECT_EQ(m.total_bytes, 800u);
+  // Ideal: 800 B / 0.8 B/ns = 1000 ns. Actual: 250 establishment + 1000
+  // transfer + 110 drain = 1360 ns.
+  EXPECT_EQ(m.makespan.ns(), 1360);
+  EXPECT_NEAR(m.efficiency, 1000.0 / 1360.0, 1e-9);
+  EXPECT_NEAR(m.throughput, 800.0 / 1360.0, 1e-9);
+}
+
+TEST(Metrics, LatencyStatistics) {
+  Simulator sim;
+  CircuitNetwork net(sim, small_params());
+  Workload w;
+  w.programs.resize(4);
+  w.programs[0].push_back(Command::send(1, 80));
+  w.programs[2].push_back(Command::send(3, 80));
+  TrafficDriver driver(sim, net, w);
+  driver.start();
+  sim.run();
+  const RunMetrics m = compute_metrics(w, net);
+  // Both transfers are identical and uncontended.
+  EXPECT_EQ(m.avg_latency_ns, m.max_latency_ns);
+  EXPECT_EQ(m.p99_latency_ns, m.max_latency_ns);
+  EXPECT_GT(m.avg_latency_ns, 0.0);
+}
+
+TEST(Metrics, EfficiencyNeverExceedsOne) {
+  Simulator sim;
+  CircuitNetwork net(sim, small_params(8));
+  const Workload w = patterns::uniform_random(8, 1024, 4, 3);
+  TrafficDriver driver(sim, net, w);
+  driver.start();
+  sim.run();
+  const RunMetrics m = compute_metrics(w, net);
+  EXPECT_LE(m.efficiency, 1.0);
+  EXPECT_GT(m.efficiency, 0.0);
+}
+
+}  // namespace
+}  // namespace pmx

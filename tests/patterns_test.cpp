@@ -1,0 +1,233 @@
+#include "traffic/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "traffic/mesh.hpp"
+
+namespace pmx {
+namespace {
+
+std::size_t send_count(const Program& p) {
+  return static_cast<std::size_t>(
+      std::count_if(p.begin(), p.end(), [](const Command& c) {
+        return c.kind == Command::Kind::kSend;
+      }));
+}
+
+TEST(Patterns, ScatterShape) {
+  const Workload w = patterns::scatter(16, 64, 3);
+  EXPECT_EQ(w.num_nodes(), 16u);
+  EXPECT_EQ(w.num_messages(), 15u);
+  EXPECT_EQ(send_count(w.programs[3]), 15u);
+  for (NodeId u = 0; u < 16; ++u) {
+    if (u != 3) {
+      EXPECT_TRUE(w.programs[u].empty());
+    }
+  }
+  // Root reaches every other node exactly once.
+  std::set<NodeId> dests;
+  for (const auto& cmd : w.programs[3]) {
+    EXPECT_NE(cmd.dst, 3u);
+    dests.insert(cmd.dst);
+  }
+  EXPECT_EQ(dests.size(), 15u);
+}
+
+TEST(Patterns, OrderedMeshIsGloballyAligned) {
+  const Workload w = patterns::ordered_mesh(16, 32, 1);
+  const Mesh2D mesh = Mesh2D::square_ish(16);
+  for (NodeId u = 0; u < 16; ++u) {
+    ASSERT_EQ(w.programs[u].size(), 4u);
+    // Every node's i-th send goes in the same global direction.
+    EXPECT_EQ(w.programs[u][0].dst, mesh.neighbor(u, Mesh2D::Dir::kEast));
+    EXPECT_EQ(w.programs[u][1].dst, mesh.neighbor(u, Mesh2D::Dir::kWest));
+    EXPECT_EQ(w.programs[u][2].dst, mesh.neighbor(u, Mesh2D::Dir::kNorth));
+    EXPECT_EQ(w.programs[u][3].dst, mesh.neighbor(u, Mesh2D::Dir::kSouth));
+  }
+}
+
+TEST(Patterns, RandomMeshSameVolumeAsOrdered) {
+  const Workload ordered = patterns::ordered_mesh(64, 128, 2);
+  const Workload random = patterns::random_mesh(64, 128, 2, 5);
+  EXPECT_EQ(random.num_messages(), ordered.num_messages());
+  EXPECT_EQ(random.total_bytes(), ordered.total_bytes());
+  // Per node: each neighbour exactly `rounds` times, order shuffled.
+  const Mesh2D mesh = Mesh2D::square_ish(64);
+  for (NodeId u = 0; u < 64; ++u) {
+    std::map<NodeId, int> counts;
+    for (const auto& cmd : random.programs[u]) {
+      counts[cmd.dst] += 1;
+    }
+    for (const auto dir : Mesh2D::kDirs) {
+      EXPECT_EQ(counts[mesh.neighbor(u, dir)], 2) << "node " << u;
+    }
+  }
+}
+
+TEST(Patterns, RandomMeshOrderDiffersFromOrdered) {
+  const Workload ordered = patterns::ordered_mesh(64, 128, 2);
+  const Workload random = patterns::random_mesh(64, 128, 2, 5);
+  std::size_t differing = 0;
+  for (NodeId u = 0; u < 64; ++u) {
+    if (random.programs[u] != ordered.programs[u]) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 32u);  // nearly every node shuffled
+}
+
+TEST(Patterns, RandomMeshDeterministicPerSeed) {
+  const Workload a = patterns::random_mesh(32, 64, 2, 9);
+  const Workload b = patterns::random_mesh(32, 64, 2, 9);
+  const Workload c = patterns::random_mesh(32, 64, 2, 10);
+  EXPECT_EQ(a.programs, b.programs);
+  EXPECT_NE(a.programs, c.programs);
+}
+
+TEST(Patterns, AllToAllEveryPairOnce) {
+  const std::size_t n = 8;
+  const Workload w = patterns::all_to_all(n, 16);
+  EXPECT_EQ(w.num_messages(), n * (n - 1));
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  for (NodeId u = 0; u < n; ++u) {
+    for (const auto& cmd : w.programs[u]) {
+      EXPECT_NE(cmd.dst, u);
+      pairs.emplace(u, cmd.dst);
+    }
+  }
+  EXPECT_EQ(pairs.size(), n * (n - 1));
+}
+
+TEST(Patterns, AllToAllIsStaggered) {
+  // Step i of the all-to-all forms a permutation: node u's i-th send goes
+  // to u+i+1 mod n.
+  const std::size_t n = 8;
+  const Workload w = patterns::all_to_all(n, 16);
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      EXPECT_EQ(w.programs[u][i].dst, (u + i + 1) % n);
+    }
+  }
+}
+
+TEST(Patterns, TwoPhaseHasOneBarrierPerNode) {
+  const Workload w = patterns::two_phase(16, 64, 3);
+  EXPECT_EQ(w.num_phases(), 2u);
+  for (NodeId u = 0; u < 16; ++u) {
+    // 15 all-to-all sends + barrier + 16 mesh sends.
+    EXPECT_EQ(w.programs[u].size(), 15u + 1u + 16u);
+    EXPECT_EQ(w.programs[u][15].kind, Command::Kind::kBarrier);
+  }
+}
+
+TEST(Patterns, TwoPhaseSecondPhaseIsNearestNeighbor) {
+  const Workload w = patterns::two_phase(16, 64, 3);
+  const Mesh2D mesh = Mesh2D::square_ish(16);
+  for (NodeId u = 0; u < 16; ++u) {
+    const auto neighbors = mesh.neighbors(u);
+    for (std::size_t i = 16; i < w.programs[u].size(); ++i) {
+      const NodeId dst = w.programs[u][i].dst;
+      EXPECT_TRUE(std::find(neighbors.begin(), neighbors.end(), dst) !=
+                  neighbors.end());
+    }
+  }
+}
+
+TEST(Patterns, FavoredDestinationsArePermutations) {
+  // Each favored set j must form a permutation so it can be preloaded as a
+  // single configuration (Figure 5).
+  const std::size_t n = 32;
+  for (std::size_t j = 0; j < 2; ++j) {
+    std::set<NodeId> images;
+    for (NodeId u = 0; u < n; ++u) {
+      const NodeId d = patterns::favored_destination(n, u, j, 2);
+      EXPECT_NE(d, u);
+      images.insert(d);
+    }
+    EXPECT_EQ(images.size(), n);
+  }
+}
+
+TEST(Patterns, DeterminismMixRespectsProbability) {
+  const std::size_t n = 64;
+  const std::size_t count = 100;
+  const Workload w = patterns::determinism_mix(n, 16, 0.8, count, 2, 3);
+  std::size_t favored = 0;
+  std::size_t total = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (const auto& cmd : w.programs[u]) {
+      ++total;
+      for (std::size_t j = 0; j < 2; ++j) {
+        if (cmd.dst == patterns::favored_destination(n, u, j, 2)) {
+          ++favored;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(total, n * count);
+  const double frac = static_cast<double>(favored) /
+                      static_cast<double>(total);
+  // Random picks land on favored nodes occasionally too, so frac >= 0.8.
+  EXPECT_GT(frac, 0.78);
+  EXPECT_LT(frac, 0.87);
+}
+
+TEST(Patterns, DeterminismExtremes) {
+  const std::size_t n = 16;
+  const Workload all_det = patterns::determinism_mix(n, 16, 1.0, 20, 2, 3);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const auto& cmd : all_det.programs[u]) {
+      EXPECT_TRUE(cmd.dst == patterns::favored_destination(n, u, 0, 2) ||
+                  cmd.dst == patterns::favored_destination(n, u, 1, 2));
+    }
+  }
+}
+
+TEST(Patterns, UniformRandomNeverSelfSends) {
+  const Workload w = patterns::uniform_random(16, 8, 50, 7);
+  for (NodeId u = 0; u < 16; ++u) {
+    for (const auto& cmd : w.programs[u]) {
+      EXPECT_NE(cmd.dst, u);
+    }
+  }
+}
+
+TEST(Patterns, HotspotConcentratesTraffic) {
+  const std::size_t n = 32;
+  const Workload w = patterns::hotspot(n, 8, 100, 5, 0.5, 7);
+  std::size_t to_hot = 0;
+  std::size_t total = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (const auto& cmd : w.programs[u]) {
+      ++total;
+      to_hot += cmd.dst == 5 ? 1u : 0u;
+    }
+  }
+  const double frac = static_cast<double>(to_hot) /
+                      static_cast<double>(total);
+  EXPECT_GT(frac, 0.4);
+  EXPECT_LT(frac, 0.6);
+}
+
+TEST(Patterns, TransposePairsNodes) {
+  const Workload w = patterns::transpose(16, 8, 1);
+  // Nodes on the diagonal (0, 5, 10, 15) have no partner.
+  EXPECT_TRUE(w.programs[0].empty());
+  EXPECT_TRUE(w.programs[5].empty());
+  // (x=1,y=0) -> node 1 sends to (x=0,y=1) -> node 4.
+  ASSERT_EQ(w.programs[1].size(), 1u);
+  EXPECT_EQ(w.programs[1][0].dst, 4u);
+  EXPECT_EQ(w.programs[4][0].dst, 1u);
+}
+
+TEST(PatternsDeathTest, TransposeRequiresSquare) {
+  EXPECT_DEATH((void)patterns::transpose(15, 8, 1), "square");
+}
+
+}  // namespace
+}  // namespace pmx

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "compiled/plan.hpp"
+#include "core/driver.hpp"
+#include "fabric/omega.hpp"
+#include "sim/simulator.hpp"
+#include "switching/preload_tdm.hpp"
+#include "traffic/patterns.hpp"
+
+namespace pmx {
+namespace {
+
+using namespace pmx::literals;
+
+TEST(CompileWorkloadOmega, ConfigsAreOmegaRoutable) {
+  const std::size_t n = 16;
+  const OmegaNetwork omega(n);
+  const Workload w = patterns::uniform_random(n, 64, 5, 3);
+  const CompiledPlan plan = compile_workload_omega(w, omega);
+  for (const auto& phase : plan.phases) {
+    for (const auto& cfg : phase.configs) {
+      EXPECT_TRUE(omega.routable(cfg));
+    }
+  }
+}
+
+TEST(CompileWorkloadOmega, DegreeAtLeastCrossbar) {
+  const std::size_t n = 32;
+  const OmegaNetwork omega(n);
+  const Workload w = patterns::uniform_random(n, 64, 6, 5);
+  const CompiledPlan xbar = compile_workload(w);
+  const CompiledPlan mesh = compile_workload_omega(w, omega);
+  EXPECT_GE(mesh.max_degree(), xbar.max_degree());
+}
+
+TEST(CompileWorkloadOmega, ShiftPatternsCostNothingExtra) {
+  // The staggered all-to-all is made of uniform shifts, which the Omega
+  // network routes without blocking: identical degree to the crossbar.
+  const std::size_t n = 16;
+  const OmegaNetwork omega(n);
+  const Workload w = patterns::all_to_all(n, 64);
+  EXPECT_EQ(compile_workload_omega(w, omega).max_degree(),
+            compile_workload(w).max_degree());
+}
+
+TEST(CompileWorkloadOmega, BudgetsMatchWorkload) {
+  const std::size_t n = 16;
+  const OmegaNetwork omega(n);
+  const Workload w = patterns::random_mesh(n, 96, 2, 9);
+  const CompiledPlan plan = compile_workload_omega(w, omega);
+  std::uint64_t total = 0;
+  for (const auto& phase : plan.phases) {
+    for (const auto b : phase.config_bytes) {
+      total += b;
+    }
+  }
+  EXPECT_EQ(total, w.total_bytes());
+}
+
+TEST(CompileWorkloadOmega, PlanRunsOnPreloadNetwork) {
+  // An Omega-constrained plan drives the preload network end to end; the
+  // network streams the (more numerous) configurations through K slots.
+  const std::size_t n = 16;
+  const OmegaNetwork omega(n);
+  const Workload w = patterns::random_mesh(n, 128, 1, 11);
+  SystemParams params;
+  params.num_nodes = n;
+  Simulator sim;
+  PreloadTdmNetwork net(sim, params, compile_workload_omega(w, omega));
+  TrafficDriver driver(sim, net, w);
+  driver.start();
+  sim.run_until(5000_us);
+  EXPECT_TRUE(driver.finished());
+  EXPECT_EQ(net.records().size(), w.num_messages());
+}
+
+TEST(CompileWorkloadOmegaDeathTest, NodeCountMismatch) {
+  const OmegaNetwork omega(8);
+  const Workload w = patterns::scatter(16, 64);
+  EXPECT_DEATH((void)compile_workload_omega(w, omega), "node count");
+}
+
+}  // namespace
+}  // namespace pmx

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "predictor/predictor.hpp"
+#include "predictor/timeout_predictor.hpp"
+
+namespace pmx {
+namespace {
+
+using namespace pmx::literals;
+
+TEST(NoPredictor, NeverHoldsNeverEvicts) {
+  NoPredictor p;
+  EXPECT_FALSE(p.should_hold(Conn{0, 1}));
+  p.on_establish(Conn{0, 1}, 0_ns);
+  p.on_use(Conn{0, 1}, 10_ns);
+  EXPECT_TRUE(p.collect_evictions(1000000_ns).empty());
+}
+
+TEST(NeverEvictPredictor, AlwaysHoldsNeverEvicts) {
+  NeverEvictPredictor p;
+  EXPECT_TRUE(p.should_hold(Conn{0, 1}));
+  p.on_establish(Conn{0, 1}, 0_ns);
+  EXPECT_TRUE(p.collect_evictions(1000000_ns).empty());
+}
+
+TEST(TimeoutPredictor, EvictsAfterIdlePeriod) {
+  TimeoutPredictor p(100_ns);
+  p.on_establish(Conn{0, 1}, 0_ns);
+  EXPECT_TRUE(p.collect_evictions(50_ns).empty());
+  const auto evicted = p.collect_evictions(100_ns);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], (Conn{0, 1}));
+  // Evicted connections are forgotten.
+  EXPECT_TRUE(p.collect_evictions(1000_ns).empty());
+}
+
+TEST(TimeoutPredictor, UseResetsTheClock) {
+  TimeoutPredictor p(100_ns);
+  p.on_establish(Conn{0, 1}, 0_ns);
+  p.on_use(Conn{0, 1}, 80_ns);
+  EXPECT_TRUE(p.collect_evictions(150_ns).empty());  // 70 ns since use
+  EXPECT_EQ(p.collect_evictions(180_ns).size(), 1u);
+}
+
+TEST(TimeoutPredictor, ReleaseStopsTracking) {
+  TimeoutPredictor p(100_ns);
+  p.on_establish(Conn{0, 1}, 0_ns);
+  p.on_release(Conn{0, 1}, 50_ns);
+  EXPECT_TRUE(p.collect_evictions(500_ns).empty());
+  EXPECT_EQ(p.tracked(), 0u);
+}
+
+TEST(TimeoutPredictor, TracksConnectionsIndependently) {
+  TimeoutPredictor p(100_ns);
+  p.on_establish(Conn{0, 1}, 0_ns);
+  p.on_establish(Conn{2, 3}, 60_ns);
+  const auto evicted = p.collect_evictions(110_ns);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], (Conn{0, 1}));
+  EXPECT_EQ(p.tracked(), 1u);
+}
+
+TEST(TimeoutPredictor, FlushForgetsEverything) {
+  TimeoutPredictor p(100_ns);
+  p.on_establish(Conn{0, 1}, 0_ns);
+  p.on_establish(Conn{1, 2}, 0_ns);
+  p.on_flush();
+  EXPECT_EQ(p.tracked(), 0u);
+  EXPECT_TRUE(p.collect_evictions(1000_ns).empty());
+}
+
+TEST(TimeoutPredictorDeathTest, RejectsNonPositiveTimeout) {
+  EXPECT_DEATH(TimeoutPredictor(0_ns), "positive");
+}
+
+TEST(CounterPredictor, EvictsAfterOtherUses) {
+  CounterPredictor p(3);
+  p.on_establish(Conn{0, 1}, 0_ns);
+  p.on_use(Conn{0, 1}, 1_ns);
+  // Three uses of other connections ripen (0,1).
+  p.on_use(Conn{2, 3}, 2_ns);
+  p.on_use(Conn{4, 5}, 3_ns);
+  EXPECT_TRUE(p.collect_evictions(4_ns).empty());  // only 2 other uses
+  p.on_use(Conn{2, 3}, 5_ns);
+  const auto evicted = p.collect_evictions(6_ns);
+  ASSERT_GE(evicted.size(), 1u);
+  EXPECT_TRUE(std::find(evicted.begin(), evicted.end(), Conn{0, 1}) !=
+              evicted.end());
+}
+
+TEST(CounterPredictor, OwnUseResetsCounter) {
+  CounterPredictor p(3);
+  p.on_establish(Conn{0, 1}, 0_ns);
+  p.on_use(Conn{2, 3}, 1_ns);
+  p.on_use(Conn{2, 3}, 2_ns);
+  p.on_use(Conn{0, 1}, 3_ns);  // reset
+  p.on_use(Conn{2, 3}, 4_ns);
+  p.on_use(Conn{2, 3}, 5_ns);
+  EXPECT_TRUE(p.collect_evictions(6_ns).empty());  // only 2 since reset
+}
+
+TEST(CounterPredictor, NoCommunicationMeansNoEviction) {
+  // The paper's motivation for the counter scheme: a compute phase with no
+  // communication must not age connections.
+  CounterPredictor p(3);
+  p.on_establish(Conn{0, 1}, 0_ns);
+  // Arbitrarily long "time" passes with no uses at all.
+  EXPECT_TRUE(p.collect_evictions(TimeNs{1000000000}).empty());
+}
+
+TEST(CounterPredictor, ReleaseStopsTracking) {
+  CounterPredictor p(2);
+  p.on_establish(Conn{0, 1}, 0_ns);
+  p.on_release(Conn{0, 1}, 1_ns);
+  p.on_use(Conn{2, 3}, 2_ns);
+  p.on_use(Conn{4, 5}, 3_ns);
+  EXPECT_TRUE(p.collect_evictions(4_ns).empty());
+}
+
+TEST(CounterPredictor, FlushForgetsEverything) {
+  CounterPredictor p(2);
+  p.on_establish(Conn{0, 1}, 0_ns);
+  p.on_flush();
+  p.on_use(Conn{2, 3}, 1_ns);
+  p.on_use(Conn{4, 5}, 2_ns);
+  EXPECT_TRUE(p.collect_evictions(3_ns).empty());
+  EXPECT_EQ(p.tracked(), 2u);  // only the connections used after the flush
+}
+
+TEST(CounterPredictorDeathTest, RejectsZeroThreshold) {
+  EXPECT_DEATH(CounterPredictor(0), "positive");
+}
+
+TEST(PredictorFactories, ProduceExpectedKinds) {
+  EXPECT_EQ(make_no_predictor()->name(), "none");
+  EXPECT_EQ(make_never_evict_predictor()->name(), "never-evict");
+  EXPECT_EQ(make_timeout_predictor(100_ns)->name(), "timeout");
+  EXPECT_EQ(make_counter_predictor(8)->name(), "counter");
+}
+
+}  // namespace
+}  // namespace pmx

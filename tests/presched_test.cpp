@@ -1,0 +1,102 @@
+#include "sched/presched.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace pmx {
+namespace {
+
+// Table 1, row by row.
+TEST(PrescheduleCell, NotRequestedNotRealized) {
+  // R=0, B(s)=0 -> L=0 regardless of B*.
+  EXPECT_FALSE(preschedule_cell(false, false, false));
+  EXPECT_FALSE(preschedule_cell(false, true, false));
+}
+
+TEST(PrescheduleCell, NotRequestedButRealizedInSlot) {
+  // R=0, B(s)=1 -> L=1 (should release).
+  EXPECT_TRUE(preschedule_cell(false, false, true));
+  EXPECT_TRUE(preschedule_cell(false, true, true));
+}
+
+TEST(PrescheduleCell, RequestedAndRealizedSomewhere) {
+  // R=1, B*=1 -> L=0 (already established; X on B(s)).
+  EXPECT_FALSE(preschedule_cell(true, true, false));
+  EXPECT_FALSE(preschedule_cell(true, true, true));
+}
+
+TEST(PrescheduleCell, RequestedNotRealizedAnywhere) {
+  // R=1, B*=0, B(s)=0 -> L=1 (should establish).
+  EXPECT_TRUE(preschedule_cell(true, false, false));
+}
+
+TEST(Preschedule, MatrixMatchesCellwiseEvaluation) {
+  const std::size_t n = 16;
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitMatrix r(n);
+    BitMatrix b_s(n);
+    // Build a random valid slot config (partial permutation) and random
+    // requests; B* must contain B(s).
+    const auto perm = rng.permutation(n);
+    for (std::size_t u = 0; u < n; ++u) {
+      if (rng.chance(0.4)) {
+        b_s.set(u, perm[u]);
+      }
+      for (std::size_t v = 0; v < n; ++v) {
+        if (rng.chance(0.2)) {
+          r.set(u, v);
+        }
+      }
+    }
+    BitMatrix b_star = b_s;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (rng.chance(0.1)) {
+        b_star.set(u, (perm[u] + 3) % n);  // extra connections in other slots
+      }
+    }
+    const BitMatrix l = preschedule(r, b_star, b_s);
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = 0; v < n; ++v) {
+        EXPECT_EQ(l.get(u, v),
+                  preschedule_cell(r.get(u, v), b_star.get(u, v),
+                                   b_s.get(u, v)))
+            << "mismatch at (" << u << "," << v << ")";
+      }
+    }
+  }
+}
+
+TEST(Preschedule, NoRequestsReleasesWholeSlot) {
+  BitMatrix r(4);
+  BitMatrix b_s(4);
+  b_s.set(0, 1);
+  b_s.set(2, 3);
+  const BitMatrix b_star = b_s;
+  const BitMatrix l = preschedule(r, b_star, b_s);
+  EXPECT_EQ(l, b_s);  // exactly the realized connections flagged for release
+}
+
+TEST(Preschedule, AllRequestedAllEstablishedIsQuiescent) {
+  BitMatrix r(4);
+  r.set(0, 1);
+  r.set(2, 3);
+  const BitMatrix b_s = r;
+  const BitMatrix b_star = r;
+  const BitMatrix l = preschedule(r, b_star, b_s);
+  EXPECT_TRUE(l.none());
+}
+
+TEST(Preschedule, RequestRealizedInAnotherSlotIsNotReestablished) {
+  BitMatrix r(4);
+  r.set(1, 2);
+  BitMatrix b_s(4);           // this slot is empty
+  BitMatrix b_star(4);
+  b_star.set(1, 2);           // realized in a different slot
+  const BitMatrix l = preschedule(r, b_star, b_s);
+  EXPECT_TRUE(l.none());
+}
+
+}  // namespace
+}  // namespace pmx

@@ -1,0 +1,109 @@
+#include "traffic/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "traffic/patterns.hpp"
+
+namespace pmx {
+namespace {
+
+using namespace pmx::literals;
+
+TEST(Workload, TotalBytesAndMessages) {
+  Workload w;
+  w.programs.resize(3);
+  w.programs[0].push_back(Command::send(1, 100));
+  w.programs[0].push_back(Command::compute(50_ns));
+  w.programs[1].push_back(Command::send(2, 200));
+  w.programs[1].push_back(Command::send(0, 300));
+  EXPECT_EQ(w.total_bytes(), 600u);
+  EXPECT_EQ(w.num_messages(), 3u);
+}
+
+TEST(Workload, SinglePhaseWithoutBarriers) {
+  Workload w;
+  w.programs.resize(2);
+  w.programs[0].push_back(Command::send(1, 10));
+  EXPECT_EQ(w.num_phases(), 1u);
+}
+
+TEST(Workload, PhasesCountBarriers) {
+  Workload w;
+  w.programs.resize(2);
+  for (auto& p : w.programs) {
+    p.push_back(Command::barrier());
+    p.push_back(Command::barrier());
+  }
+  EXPECT_EQ(w.num_phases(), 3u);
+}
+
+TEST(WorkloadDeathTest, MismatchedBarrierCounts) {
+  Workload w;
+  w.programs.resize(2);
+  w.programs[0].push_back(Command::barrier());
+  EXPECT_DEATH((void)w.num_phases(), "barrier count");
+}
+
+TEST(Workload, InjectionEjectionLoads) {
+  Workload w;
+  w.programs.resize(3);
+  w.programs[0].push_back(Command::send(2, 100));
+  w.programs[0].push_back(Command::send(1, 100));
+  w.programs[1].push_back(Command::send(2, 50));
+  EXPECT_EQ(w.max_injection_bytes(), 200u);  // node 0 sends 200
+  EXPECT_EQ(w.max_ejection_bytes(), 150u);   // node 2 receives 150
+}
+
+TEST(Workload, IdealMakespanSingleSource) {
+  // One node sends 800 bytes total at 0.8 B/ns: lower bound 1000 ns.
+  Workload w;
+  w.programs.resize(4);
+  w.programs[0].push_back(Command::send(1, 400));
+  w.programs[0].push_back(Command::send(2, 400));
+  EXPECT_EQ(w.ideal_makespan(0.8).ns(), 1000);
+}
+
+TEST(Workload, IdealMakespanEjectionBound) {
+  // Three nodes each send 400 B to node 3: the ejection port carries 1200 B.
+  Workload w;
+  w.programs.resize(4);
+  for (NodeId u = 0; u < 3; ++u) {
+    w.programs[u].push_back(Command::send(3, 400));
+  }
+  EXPECT_EQ(w.ideal_makespan(0.8).ns(), 1500);
+}
+
+TEST(Workload, IdealMakespanSumsPhases) {
+  // Phase 1: node 0 sends 400 B; phase 2: node 1 sends 800 B.
+  // Phases are barrier-separated, so the bounds add: 500 + 1000.
+  Workload w;
+  w.programs.resize(2);
+  w.programs[0].push_back(Command::send(1, 400));
+  w.programs[0].push_back(Command::barrier());
+  w.programs[1].push_back(Command::barrier());
+  w.programs[1].push_back(Command::send(0, 800));
+  EXPECT_EQ(w.ideal_makespan(0.8).ns(), 1500);
+}
+
+TEST(Workload, ScatterIdealEqualsRootSerialization) {
+  const std::size_t n = 16;
+  const Workload w = patterns::scatter(n, 64);
+  // Root injects 15 * 64 bytes at 0.8 B/ns.
+  EXPECT_EQ(w.ideal_makespan(0.8).ns(),
+            static_cast<std::int64_t>(15 * 64 / 0.8));
+}
+
+TEST(Command, FactoryHelpers) {
+  const Command s = Command::send(4, 128);
+  EXPECT_EQ(s.kind, Command::Kind::kSend);
+  EXPECT_EQ(s.dst, 4u);
+  EXPECT_EQ(s.bytes, 128u);
+  EXPECT_EQ(Command::barrier().kind, Command::Kind::kBarrier);
+  EXPECT_EQ(Command::flush().kind, Command::Kind::kFlush);
+  const Command c = Command::compute(500_ns);
+  EXPECT_EQ(c.kind, Command::Kind::kCompute);
+  EXPECT_EQ(c.delay, 500_ns);
+}
+
+}  // namespace
+}  // namespace pmx

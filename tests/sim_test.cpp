@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace pmx {
+namespace {
+
+using namespace pmx::literals;
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30_ns, [&] { order.push_back(3); });
+  q.push(10_ns, [&] { order.push_back(1); });
+  q.push(20_ns, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    q.pop().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5_ns, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.pop().fn();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(10_ns, [&] { fired = true; });
+  q.push(20_ns, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), 20_ns);
+  while (!q.empty()) {
+    q.pop().fn();
+  }
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  q.cancel(9999);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EmptyAfterAllCancelled) {
+  EventQueue q;
+  const EventId a = q.push(1_ns, [] {});
+  const EventId b = q.push(2_ns, [] {});
+  q.cancel(a);
+  q.cancel(b);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Simulator, AdvancesTime) {
+  Simulator sim;
+  TimeNs seen = TimeNs::zero();
+  sim.schedule_at(100_ns, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 100_ns);
+  EXPECT_EQ(sim.now(), 100_ns);
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  TimeNs inner = TimeNs::zero();
+  sim.schedule_at(50_ns, [&] {
+    sim.schedule_after(25_ns, [&] { inner = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner, 75_ns);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(TimeNs{i * 10}, [&] { ++count; });
+  }
+  sim.run_until(50_ns);
+  EXPECT_EQ(count, 5);  // events at 10..50 inclusive
+  EXPECT_EQ(sim.now(), 50_ns);
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(1000_ns);
+  EXPECT_EQ(sim.now(), 1000_ns);
+}
+
+TEST(Simulator, StopExitsLoop) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(TimeNs{i}, [&] {
+      ++count;
+      if (count == 3) {
+        sim.stop();
+      }
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, CancelScheduledEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(10_ns, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Clock, TicksAtPeriod) {
+  Simulator sim;
+  std::vector<std::int64_t> ticks;
+  Clock clock(sim, 100_ns, [&] {
+    ticks.push_back(sim.now().ns());
+    if (ticks.size() == 4) {
+      clock.stop();
+    }
+  });
+  clock.start();
+  sim.run();
+  EXPECT_EQ(ticks, (std::vector<std::int64_t>{0, 100, 200, 300}));
+}
+
+TEST(Clock, PhaseOffsetsFirstTick) {
+  Simulator sim;
+  std::vector<std::int64_t> ticks;
+  Clock clock(sim, 100_ns, [&] {
+    ticks.push_back(sim.now().ns());
+    if (ticks.size() == 2) {
+      clock.stop();
+    }
+  });
+  clock.start(30_ns);
+  sim.run();
+  EXPECT_EQ(ticks, (std::vector<std::int64_t>{30, 130}));
+}
+
+TEST(Clock, StopBeforeStartIsSafe) {
+  Simulator sim;
+  Clock clock(sim, 10_ns, [] {});
+  clock.stop();  // no-op
+  EXPECT_FALSE(clock.running());
+}
+
+TEST(Clock, DestructorCancelsPendingTick) {
+  Simulator sim;
+  int ticks = 0;
+  {
+    Clock clock(sim, 10_ns, [&] { ++ticks; });
+    clock.start();
+  }  // destroyed before any tick
+  sim.run();
+  EXPECT_EQ(ticks, 0);
+}
+
+TEST(TimeNs, Arithmetic) {
+  EXPECT_EQ((10_ns + 20_ns).ns(), 30);
+  EXPECT_EQ((50_ns - 20_ns).ns(), 30);
+  EXPECT_EQ((10_ns * 3).ns(), 30);
+  EXPECT_EQ(100_ns / 30_ns, 3);
+  EXPECT_EQ((100_ns % 30_ns).ns(), 10);
+  EXPECT_LT(10_ns, 20_ns);
+  EXPECT_EQ((1_us).ns(), 1000);
+}
+
+}  // namespace
+}  // namespace pmx

@@ -1,0 +1,58 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pmx {
+namespace {
+
+TEST(Table, AlignedPlainText) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "23"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);
+  // Columns right-aligned to the widest cell.
+  EXPECT_NE(out.find("     x"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(1.23456), "1.23");
+  EXPECT_EQ(Table::fmt(1.23456, 4), "1.2346");
+  EXPECT_EQ(Table::fmt(std::int64_t{-5}), "-5");
+  EXPECT_EQ(Table::fmt(std::uint64_t{7}), "7");
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"x"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableDeathTest, RowWidthMismatch) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "width");
+}
+
+TEST(TableDeathTest, EmptyHeader) {
+  EXPECT_DEATH(Table({}), "one column");
+}
+
+}  // namespace
+}  // namespace pmx

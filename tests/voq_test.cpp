@@ -1,0 +1,129 @@
+#include "nic/voq.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmx {
+namespace {
+
+Message msg(MessageId id, NodeId src, NodeId dst, std::uint64_t bytes) {
+  Message m;
+  m.id = id;
+  m.src = src;
+  m.dst = dst;
+  m.bytes = bytes;
+  return m;
+}
+
+TEST(VoqSet, StartsEmpty) {
+  VoqSet voqs(8);
+  EXPECT_EQ(voqs.num_dests(), 8u);
+  EXPECT_EQ(voqs.total_depth(), 0u);
+  EXPECT_EQ(voqs.total_bytes(), 0u);
+  for (NodeId d = 0; d < 8; ++d) {
+    EXPECT_TRUE(voqs.empty(d));
+  }
+  EXPECT_TRUE(voqs.pending_destinations().empty());
+}
+
+TEST(VoqSet, PushRoutesToDestinationQueue) {
+  VoqSet voqs(4);
+  voqs.push(msg(1, 0, 2, 100));
+  EXPECT_FALSE(voqs.empty(2));
+  EXPECT_TRUE(voqs.empty(1));
+  EXPECT_EQ(voqs.depth(2), 1u);
+  EXPECT_EQ(voqs.total_bytes(), 100u);
+  EXPECT_EQ(voqs.head(2).id, 1u);
+  EXPECT_EQ(voqs.head_remaining(2), 100u);
+}
+
+TEST(VoqSet, PendingDestinationsIsRequestVector) {
+  VoqSet voqs(6);
+  voqs.push(msg(1, 0, 5, 10));
+  voqs.push(msg(2, 0, 1, 10));
+  voqs.push(msg(3, 0, 5, 10));
+  EXPECT_EQ(voqs.pending_destinations(), (std::vector<NodeId>{1, 5}));
+}
+
+TEST(VoqSet, ConsumePartialKeepsHead) {
+  VoqSet voqs(4);
+  voqs.push(msg(1, 0, 3, 100));
+  Message completed;
+  EXPECT_EQ(voqs.consume(3, 60, &completed), 60u);
+  EXPECT_EQ(completed.id, 0u);  // not finished
+  EXPECT_EQ(voqs.head_remaining(3), 40u);
+  EXPECT_EQ(voqs.total_bytes(), 40u);
+  EXPECT_EQ(voqs.depth(3), 1u);
+}
+
+TEST(VoqSet, ConsumeExactCompletesMessage) {
+  VoqSet voqs(4);
+  voqs.push(msg(7, 0, 3, 100));
+  Message completed;
+  EXPECT_EQ(voqs.consume(3, 100, &completed), 100u);
+  EXPECT_EQ(completed.id, 7u);
+  EXPECT_TRUE(voqs.empty(3));
+  EXPECT_EQ(voqs.total_depth(), 0u);
+}
+
+TEST(VoqSet, ConsumeBudgetLargerThanHeadStopsAtMessageBoundary) {
+  VoqSet voqs(4);
+  voqs.push(msg(1, 0, 3, 30));
+  voqs.push(msg(2, 0, 3, 50));
+  Message completed;
+  // consume() handles one message at a time; a 100-byte budget takes the
+  // 30-byte head only.
+  EXPECT_EQ(voqs.consume(3, 100, &completed), 30u);
+  EXPECT_EQ(completed.id, 1u);
+  EXPECT_EQ(voqs.head(3).id, 2u);
+  EXPECT_EQ(voqs.total_bytes(), 50u);
+}
+
+TEST(VoqSet, FifoOrderPerDestination) {
+  VoqSet voqs(4);
+  voqs.push(msg(1, 0, 2, 10));
+  voqs.push(msg(2, 0, 2, 10));
+  voqs.push(msg(3, 0, 2, 10));
+  Message completed;
+  voqs.consume(2, 10, &completed);
+  EXPECT_EQ(completed.id, 1u);
+  voqs.consume(2, 10, &completed);
+  EXPECT_EQ(completed.id, 2u);
+  voqs.consume(2, 10, &completed);
+  EXPECT_EQ(completed.id, 3u);
+}
+
+TEST(VoqSet, IndependentQueues) {
+  VoqSet voqs(4);
+  voqs.push(msg(1, 0, 1, 10));
+  voqs.push(msg(2, 0, 2, 20));
+  Message completed;
+  voqs.consume(2, 20, &completed);
+  EXPECT_EQ(completed.id, 2u);
+  EXPECT_FALSE(voqs.empty(1));
+  EXPECT_EQ(voqs.total_bytes(), 10u);
+}
+
+TEST(VoqSet, NullCompletedPointerAllowed) {
+  VoqSet voqs(4);
+  voqs.push(msg(1, 0, 1, 10));
+  EXPECT_EQ(voqs.consume(1, 10, nullptr), 10u);
+  EXPECT_TRUE(voqs.empty(1));
+}
+
+TEST(VoqSetDeathTest, RejectsZeroByteMessage) {
+  VoqSet voqs(4);
+  EXPECT_DEATH(voqs.push(msg(1, 0, 1, 0)), "zero-byte");
+}
+
+TEST(VoqSetDeathTest, RejectsOutOfRangeDestination) {
+  VoqSet voqs(4);
+  EXPECT_DEATH(voqs.push(msg(1, 0, 9, 10)), "out of range");
+}
+
+TEST(VoqSetDeathTest, ConsumeFromEmptyQueue) {
+  VoqSet voqs(4);
+  EXPECT_DEATH(voqs.consume(1, 10, nullptr), "empty");
+}
+
+}  // namespace
+}  // namespace pmx
