@@ -5,10 +5,10 @@
 //
 // Usage: bench_ablation_predictor [--nodes N] [--bytes B]
 
-#include <cstring>
 #include <iostream>
 #include <vector>
 
+#include "common/config.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
 #include "traffic/patterns.hpp"
@@ -27,13 +27,10 @@ struct PredictorSetup {
 int main(int argc, char** argv) {
   std::size_t nodes = 64;
   std::uint64_t bytes = 256;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
-      nodes = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--bytes") == 0 && i + 1 < argc) {
-      bytes = std::strtoull(argv[++i], nullptr, 10);
-    }
-  }
+  const pmx::Config cfg = pmx::Config::from_cli(argc, argv);
+  nodes = cfg.get_uint("nodes", nodes);
+  bytes = cfg.get_uint("bytes", bytes);
+  cfg.fail_unread("bench_ablation_predictor");
 
   const std::vector<PredictorSetup> predictors{
       {"none", pmx::PredictorKind::kNone, 0, 0},

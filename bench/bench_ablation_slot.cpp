@@ -4,10 +4,10 @@
 //
 // Usage: bench_ablation_slot [--nodes N] [--bytes B]
 
-#include <cstring>
 #include <iostream>
 #include <vector>
 
+#include "common/config.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
 #include "traffic/patterns.hpp"
@@ -15,13 +15,10 @@
 int main(int argc, char** argv) {
   std::size_t nodes = 64;
   std::uint64_t bytes = 512;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
-      nodes = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--bytes") == 0 && i + 1 < argc) {
-      bytes = std::strtoull(argv[++i], nullptr, 10);
-    }
-  }
+  const pmx::Config cfg = pmx::Config::from_cli(argc, argv);
+  nodes = cfg.get_uint("nodes", nodes);
+  bytes = cfg.get_uint("bytes", bytes);
+  cfg.fail_unread("bench_ablation_slot");
   const pmx::Workload workload =
       pmx::patterns::random_mesh(nodes, bytes, 2, 7);
 

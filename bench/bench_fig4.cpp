@@ -3,13 +3,15 @@
 // under Wormhole, Circuit, Dynamic TDM (K=4, timeout predictor) and Preload
 // TDM (K=4).
 //
-// Usage: bench_fig4 [--nodes N] [--csv]
+// Usage: bench_fig4 [--nodes N] [--csv] [--timeout NS] [--multislot|
+//        --no-multislot] [--counter-predictor] [--no-predictor]
+// Unknown options abort with exit status 2.
 
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/config.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
 #include "traffic/patterns.hpp"
@@ -56,25 +58,19 @@ RunConfig config_for(SwitchKind kind, std::size_t nodes) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t nodes = 128;
-  bool csv = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
-      nodes = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--csv") == 0) {
-      csv = true;
-    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
-      g_timeout_ns = std::strtoll(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--multislot") == 0) {
-      g_multi_slot = true;
-    } else if (std::strcmp(argv[i], "--no-multislot") == 0) {
-      g_multi_slot = false;
-    } else if (std::strcmp(argv[i], "--counter-predictor") == 0) {
-      g_predictor = pmx::PredictorKind::kCounter;
-    } else if (std::strcmp(argv[i], "--no-predictor") == 0) {
-      g_predictor = pmx::PredictorKind::kNone;
-    }
+  const pmx::Config cfg = pmx::Config::from_cli(argc, argv);
+  const std::size_t nodes = cfg.get_uint("nodes", 128);
+  const bool csv = cfg.get_bool("csv", false);
+  g_timeout_ns = cfg.get_int("timeout", g_timeout_ns);
+  g_multi_slot = cfg.get_bool("multislot", g_multi_slot) &&
+                 !cfg.get_bool("no-multislot", false);
+  if (cfg.get_bool("counter-predictor", false)) {
+    g_predictor = pmx::PredictorKind::kCounter;
   }
+  if (cfg.get_bool("no-predictor", false)) {
+    g_predictor = pmx::PredictorKind::kNone;
+  }
+  cfg.fail_unread("bench_fig4");
 
   const std::vector<Pattern> patterns{
       {"scatter", make_scatter},

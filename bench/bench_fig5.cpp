@@ -7,12 +7,14 @@
 // node. d sweeps 50%..100%.
 //
 // Usage: bench_fig5 [--nodes N] [--bytes B] [--count C] [--csv]
+//        [--multislot] [--timeout NS]
+// Unknown options abort with exit status 2.
 
-#include <cstring>
 #include <iostream>
 #include <vector>
 
 #include "common/bitmatrix.hpp"
+#include "common/config.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
 #include "traffic/patterns.hpp"
@@ -35,25 +37,14 @@ pmx::BitMatrix favored_config(std::size_t nodes, std::size_t j,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t nodes = 128;
-  std::uint64_t bytes = 64;
-  std::size_t count = 64;
-  bool csv = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
-      nodes = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--bytes") == 0 && i + 1 < argc) {
-      bytes = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
-      count = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--csv") == 0) {
-      csv = true;
-    } else if (std::strcmp(argv[i], "--multislot") == 0) {
-      g_multi_slot = true;
-    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
-      g_timeout_ns = std::strtoll(argv[++i], nullptr, 10);
-    }
-  }
+  const pmx::Config cfg = pmx::Config::from_cli(argc, argv);
+  const std::size_t nodes = cfg.get_uint("nodes", 128);
+  const std::uint64_t bytes = cfg.get_uint("bytes", 64);
+  const std::size_t count = cfg.get_uint("count", 64);
+  const bool csv = cfg.get_bool("csv", false);
+  g_multi_slot = cfg.get_bool("multislot", g_multi_slot);
+  g_timeout_ns = cfg.get_int("timeout", g_timeout_ns);
+  cfg.fail_unread("bench_fig5");
   constexpr std::size_t kFavored = 2;
   constexpr std::size_t kMuxDegree = 3;  // "A multiplexing degree of three"
 

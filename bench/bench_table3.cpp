@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "common/bitmatrix.hpp"
+#include "common/config.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "sched/latency_model.hpp"
@@ -60,7 +61,9 @@ double sw_pass_us(std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Takes no options; any argument is therefore a mistake -- fail loudly.
+  pmx::Config::from_cli(argc, argv).fail_unread("bench_table3");
   pmx::SchedulerLatencyModel model;
   std::cout << "Table 3: latency of the scheduling circuit\n"
             << "model: fpga(N) = " << pmx::Table::fmt(model.c0()) << " + "

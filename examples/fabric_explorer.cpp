@@ -77,10 +77,7 @@ int main(int argc, char** argv) {
       config.get_uint("leaves", nodes >= 32 ? 8 : 2);
   const std::size_t spines = config.get_uint(
       "spines", std::max<std::size_t>(1, nodes / leaves / 2));
-  if (const auto unread = config.unread_keys(); !unread.empty()) {
-    std::cerr << "unknown argument: " << unread.front() << "=...\n";
-    return 2;
-  }
+  config.fail_unread("fabric_explorer");
 
   const pmx::Workload w = make_pattern(pattern, nodes, bytes, count, seed);
   const pmx::OmegaNetwork omega(nodes);

@@ -1,7 +1,10 @@
 #include "common/config.hpp"
 
+#include <cstdlib>
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace pmx {
 
@@ -59,6 +62,48 @@ Config Config::from_text(const std::string& text) {
     config.set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
   }
   return config;
+}
+
+Config Config::from_cli(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.starts_with("--")) {
+      arg.erase(0, 2);
+    }
+    if (arg.empty()) {
+      throw std::runtime_error("empty command-line option");
+    }
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      if (eq == 0) {
+        throw std::runtime_error("expected key=value, got '" +
+                                 std::string(argv[i]) + "'");
+      }
+      config.set(arg.substr(0, eq), arg.substr(eq + 1));
+      continue;
+    }
+    // `--key value` when a value token follows, bare `--flag` otherwise.
+    if (i + 1 < argc && !std::string_view(argv[i + 1]).starts_with("--")) {
+      config.set(arg, argv[++i]);
+    } else {
+      config.set(arg, "true");
+    }
+  }
+  return config;
+}
+
+void Config::fail_unread(const std::string& context) const {
+  const auto unread = unread_keys();
+  if (unread.empty()) {
+    return;
+  }
+  for (const auto& key : unread) {
+    std::cerr << context << ": unknown option '" << key << "'\n";
+  }
+  std::cerr << context << ": aborting (typo'd options would silently fall "
+            << "back to defaults)\n";
+  std::exit(2);
 }
 
 void Config::set(const std::string& key, const std::string& value) {

@@ -22,6 +22,10 @@ class Config {
   /// Parse config-file text: one key=value per line, blank lines and
   /// '#'-comments ignored.
   static Config from_text(const std::string& text);
+  /// Parse a main()'s argument vector. Accepts `key=value`, `--key=value`,
+  /// `--key value` and bare `--flag` (stored as "true"). Anything else is
+  /// rejected with std::runtime_error.
+  static Config from_cli(int argc, char** argv);
 
   void set(const std::string& key, const std::string& value);
   [[nodiscard]] bool has(const std::string& key) const;
@@ -42,6 +46,11 @@ class Config {
   /// Keys that were set but never read through a getter -- catches typos in
   /// benchmark invocations.
   [[nodiscard]] std::vector<std::string> unread_keys() const;
+
+  /// Strict-CLI guard: call after every option has been read. If any key
+  /// was set but never consumed by a getter (a typo'd or unknown option),
+  /// prints them to stderr prefixed with `context` and exits with status 2.
+  void fail_unread(const std::string& context) const;
 
   [[nodiscard]] std::size_t size() const { return values_.size(); }
 

@@ -26,6 +26,14 @@ TrafficDriver::TrafficDriver(Simulator& sim, Network& network,
     release_barrier_if_drained();
     maybe_stop();
   });
+  // A permanently dropped message will never be delivered; count it as
+  // resolved so barriers release and the run terminates on a dead link
+  // instead of hanging forever.
+  network_.set_dropped_handler([this](const Message&) {
+    ++dropped_;
+    release_barrier_if_drained();
+    maybe_stop();
+  });
 }
 
 void TrafficDriver::start() {
@@ -82,7 +90,7 @@ void TrafficDriver::reach_barrier(NodeId /*node*/) {
 }
 
 void TrafficDriver::release_barrier_if_drained() {
-  if (!barrier_pending_ || delivered_ != submitted_) {
+  if (!barrier_pending_ || delivered_ + dropped_ != submitted_) {
     return;
   }
   barrier_pending_ = false;
@@ -100,7 +108,7 @@ void TrafficDriver::release_barrier_if_drained() {
 
 void TrafficDriver::maybe_stop() {
   if (!finished_ && nodes_done_ == workload_.num_nodes() &&
-      delivered_ == submitted_) {
+      delivered_ + dropped_ == submitted_) {
     finished_ = true;
     sim_.stop();
   }

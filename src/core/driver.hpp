@@ -40,6 +40,8 @@ class TrafficDriver {
   [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] std::size_t messages_submitted() const { return submitted_; }
   [[nodiscard]] std::size_t messages_delivered() const { return delivered_; }
+  /// Messages the reliability layer gave up on (retry budget exhausted).
+  [[nodiscard]] std::size_t messages_dropped() const { return dropped_; }
   [[nodiscard]] std::size_t current_phase(NodeId u) const { return phase_[u]; }
 
  private:
@@ -60,6 +62,7 @@ class TrafficDriver {
   bool barrier_pending_ = false;  ///< all nodes arrived, waiting for drain
   std::size_t submitted_ = 0;
   std::size_t delivered_ = 0;
+  std::size_t dropped_ = 0;
   bool finished_ = false;
 };
 

@@ -7,6 +7,43 @@
 
 namespace pmx {
 
+namespace {
+
+void fill_fault_metrics(const Network& network, RunMetrics& m) {
+  if (!network.fault_tolerant()) {
+    return;
+  }
+  const CounterSet& c = network.counters();
+  m.retransmits = c.value("retransmits");
+  m.crc_corruptions = c.value("crc_corruptions");
+  m.duplicates = c.value("duplicates_suppressed");
+  m.acks_lost = c.value("acks_lost");
+  m.dropped_messages = network.dropped_messages();
+  m.link_faults = static_cast<std::size_t>(c.value("link_faults"));
+  m.forced_releases = static_cast<std::size_t>(c.value("forced_releases"));
+  if (m.makespan > TimeNs::zero()) {
+    m.goodput = m.throughput;
+    m.wire_throughput = static_cast<double>(network.wire_bytes()) /
+                        static_cast<double>(m.makespan.ns());
+  }
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& rec : network.recoveries()) {
+    if (!rec.recovered.has_value()) {
+      continue;
+    }
+    const auto t = static_cast<double>((*rec.recovered - rec.down).ns());
+    sum += t;
+    m.recovery_max_ns = std::max(m.recovery_max_ns, t);
+    ++n;
+  }
+  if (n > 0) {
+    m.recovery_mean_ns = sum / static_cast<double>(n);
+  }
+}
+
+}  // namespace
+
 RunMetrics compute_metrics(const Workload& workload, const Network& network) {
   RunMetrics m;
   const auto& records = network.records();
@@ -14,6 +51,7 @@ RunMetrics compute_metrics(const Workload& workload, const Network& network) {
   m.total_bytes = network.delivered_bytes();
   m.makespan = network.last_delivery();
   if (records.empty() || m.makespan <= TimeNs::zero()) {
+    fill_fault_metrics(network, m);
     return m;
   }
 
@@ -41,6 +79,7 @@ RunMetrics compute_metrics(const Workload& workload, const Network& network) {
                static_cast<std::size_t>(0.99 * static_cast<double>(
                                                    latencies.size())));
   m.p99_latency_ns = latencies[p99_idx];
+  fill_fault_metrics(network, m);
   return m;
 }
 

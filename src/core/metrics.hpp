@@ -23,6 +23,28 @@ struct RunMetrics {
   double avg_latency_ns = 0.0;
   double p99_latency_ns = 0.0;
   double max_latency_ns = 0.0;
+
+  // --- Fault-tolerance metrics (all zero when the fault layer is off) -----
+  /// Bytes that crossed the fabric including retransmitted copies, per ns.
+  /// goodput == throughput when nothing was ever corrupted; the gap between
+  /// the two is the bandwidth tax of the reliability layer.
+  double wire_throughput = 0.0;
+  /// Delivered (useful) bytes per ns -- alias of `throughput`, named for
+  /// the goodput-vs-throughput comparison in the fault ablation.
+  double goodput = 0.0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t crc_corruptions = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t acks_lost = 0;
+  std::size_t dropped_messages = 0;
+  std::size_t link_faults = 0;
+  std::size_t forced_releases = 0;
+  /// Mean/max time from a hard link fault to the first clean delivery
+  /// touching the failed node afterwards (0 when no fault recovered).
+  double recovery_mean_ns = 0.0;
+  double recovery_max_ns = 0.0;
+
+  friend bool operator==(const RunMetrics&, const RunMetrics&) = default;
 };
 
 /// Compute metrics after a run has finished. The workload provides the

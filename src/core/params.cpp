@@ -18,6 +18,7 @@ void SystemParams::validate() const {
   PMX_CHECK(mux_degree >= 1, "multiplexing degree must be at least 1");
   PMX_CHECK(flit_bytes > 0 && max_worm_bytes >= flit_bytes,
             "worm limit must fit at least one flit");
+  fault.validate(num_nodes);
 }
 
 }  // namespace pmx

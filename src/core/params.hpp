@@ -5,6 +5,7 @@
 
 #include "common/time.hpp"
 #include "fabric/link.hpp"
+#include "fault/fault_model.hpp"
 
 namespace pmx {
 
@@ -42,6 +43,11 @@ struct SystemParams {
   /// Wormhole parameters: 8-byte flits, worms limited to 128 bytes.
   std::uint64_t flit_bytes = 8;
   std::uint64_t max_worm_bytes = 128;
+
+  /// Fault injection and NIC retransmission. All rates default to zero, in
+  /// which case the fault layer is not instantiated at all and the system
+  /// behaves bit-identically to the fault-free design.
+  FaultParams fault{};
 
   [[nodiscard]] LinkModel link_model() const { return LinkModel{link}; }
 

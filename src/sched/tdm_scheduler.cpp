@@ -29,6 +29,9 @@ TdmScheduler::TdmScheduler(const Options& options)
       skip_unrequested_(options.skip_unrequested_slots),
       requests_(n_),
       holds_(n_),
+      down_ports_(n_),
+      up_cols_(n_, true),
+      usable_(n_),
       slots_(k_, BitMatrix(n_)),
       pinned_(k_, false),
       b_star_(n_),
@@ -36,6 +39,10 @@ TdmScheduler::TdmScheduler(const Options& options)
       slot_clean_(k_, false) {
   PMX_CHECK(n_ >= 2, "scheduler needs at least two ports");
   PMX_CHECK(k_ >= 1, "scheduler needs at least one slot");
+  const BitVector ones(n_, true);
+  for (std::size_t u = 0; u < n_; ++u) {
+    usable_.set_row(u, ones);
+  }
 }
 
 void TdmScheduler::set_request(std::size_t u, std::size_t v, bool value) {
@@ -90,6 +97,89 @@ void TdmScheduler::flush_dynamic() {
   ++stats_.flushes;
 }
 
+BitMatrix TdmScheduler::effective_requests() const {
+  BitMatrix r_eff = requests_ | holds_;
+  if (!any_fault_ && !any_stuck_) {
+    return r_eff;
+  }
+  const BitVector empty_row(n_);
+  for (std::size_t u = 0; u < n_; ++u) {
+    if (any_fault_ && down_ports_.get(u)) {
+      r_eff.set_row(u, empty_row);
+      continue;
+    }
+    BitVector row = r_eff.row(u);
+    if (any_fault_) {
+      row &= up_cols_;
+    }
+    if (any_stuck_) {
+      row &= usable_.row(u);
+    }
+    r_eff.set_row(u, row);
+  }
+  return r_eff;
+}
+
+void TdmScheduler::force_clear(
+    std::size_t u, std::size_t v,
+    std::vector<std::pair<std::size_t, std::size_t>>* released) {
+  bool was_established = false;
+  for (auto& slot : slots_) {
+    if (slot.get(u, v)) {
+      slot.set(u, v, false);
+      was_established = true;
+    }
+  }
+  if (was_established) {
+    ++stats_.forced_releases;
+    if (released != nullptr) {
+      released->emplace_back(u, v);
+    }
+  }
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> TdmScheduler::set_port_fault(
+    std::size_t port, bool down) {
+  PMX_CHECK(port < n_, "fault port out of range");
+  std::vector<std::pair<std::size_t, std::size_t>> released;
+  if (down_ports_.get(port) == down) {
+    return released;  // no edge
+  }
+  down_ports_.set(port, down);
+  up_cols_.set(port, !down);
+  any_fault_ = down_ports_.any();
+  if (down) {
+    // Force-release every established connection whose input or output
+    // port just died -- reusing the flush machinery's bookkeeping so the
+    // slots are reclaimed immediately.
+    for (std::size_t v = 0; v < n_; ++v) {
+      if (v != port && b_star_.get(port, v)) {
+        force_clear(port, v, &released);
+      }
+      if (v != port && b_star_.get(v, port)) {
+        force_clear(v, port, &released);
+      }
+    }
+    rebuild_b_star();
+  }
+  mark_all_dirty();
+  return released;
+}
+
+bool TdmScheduler::set_stuck_cell(std::size_t u, std::size_t v) {
+  PMX_CHECK(u < n_ && v < n_ && u != v, "invalid stuck cell");
+  usable_.set(u, v, false);
+  any_stuck_ = true;
+  bool released = false;
+  if (b_star_.get(u, v)) {
+    force_clear(u, v, nullptr);
+    rebuild_b_star();
+    released = true;
+  }
+  mark_all_dirty();
+  return released;
+}
+
 std::optional<std::size_t> TdmScheduler::next_unpinned_slot() {
   for (std::size_t i = 0; i < k_; ++i) {
     const std::size_t s = (sl_cursor_ + i) % k_;
@@ -116,7 +206,7 @@ TdmScheduler::PassResult TdmScheduler::run_pass() {
     return result;
   }
 
-  const BitMatrix r_eff = requests_ | holds_;
+  const BitMatrix r_eff = effective_requests();
   const BitMatrix l = preschedule(r_eff, b_star_, slots_[s]);
   const std::size_t origin = rotate_priority_ ? priority_origin_ : 0;
 

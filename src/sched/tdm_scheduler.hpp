@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/bitmatrix.hpp"
@@ -18,6 +19,9 @@ struct SchedulerStats {
   std::uint64_t slot_advances = 0;  ///< TDM counter increments
   std::uint64_t slots_skipped = 0;  ///< empty configurations skipped
   std::uint64_t flushes = 0;        ///< flush-dynamic commands served
+  /// Connections force-released because their link died or their SL cell
+  /// is stuck (degraded-mode operation, not normal scheduling).
+  std::uint64_t forced_releases = 0;
   /// Passes elided because the slot was quiescent (its previous pass made
   /// no change and no scheduler input has changed since) -- a simulator
   /// optimization, not hardware behaviour: the hardware would evaluate the
@@ -105,6 +109,28 @@ class TdmScheduler {
   /// Extension 4: clear every unpinned configuration (and all holds).
   void flush_dynamic();
 
+  // --- Degraded-mode operation (fault tolerance) --------------------------
+  /// Mark port `p`'s link down or repaired. Going down masks row p and
+  /// column p out of every scheduling pass and force-releases established
+  /// connections on the dead link from every slot (pinned included --
+  /// the fabric cannot drive a dead cable); the released (u, v) pairs are
+  /// returned so predictors can evict them. Repair just unmasks: pending
+  /// requests re-establish on the next passes.
+  std::vector<std::pair<std::size_t, std::size_t>> set_port_fault(
+      std::size_t port, bool down);
+  [[nodiscard]] bool port_failed(std::size_t port) const {
+    return down_ports_.get(port);
+  }
+  /// Model SL cell (u, v) stuck at zero: the cell can never toggle, so the
+  /// connection cannot be established (or released) reactively. If the
+  /// connection is currently established it is force-released. Preloading
+  /// still works -- configuration registers are written directly, bypassing
+  /// the SL array. Returns true when a live connection was released.
+  bool set_stuck_cell(std::size_t u, std::size_t v);
+  [[nodiscard]] bool cell_stuck(std::size_t u, std::size_t v) const {
+    return !usable_.get(u, v);
+  }
+
   // --- Scheduling pass (SL clock edge) ------------------------------------
   struct PassResult {
     std::optional<std::size_t> slot;  ///< slot scheduled, nullopt if none
@@ -156,6 +182,13 @@ class TdmScheduler {
  private:
   void rebuild_b_star();
   [[nodiscard]] std::optional<std::size_t> next_unpinned_slot();
+  /// Effective request matrix for a scheduling pass: (R | holds) with dead
+  /// ports and stuck cells masked out.
+  [[nodiscard]] BitMatrix effective_requests() const;
+  /// Clear (u, v) from every slot; appends the pair to `released` when it
+  /// was established. Caller rebuilds B* and marks dirty.
+  void force_clear(std::size_t u, std::size_t v,
+                   std::vector<std::pair<std::size_t, std::size_t>>* released);
 
   std::size_t n_;
   std::size_t k_;
@@ -165,6 +198,11 @@ class TdmScheduler {
 
   BitMatrix requests_;
   BitMatrix holds_;
+  BitVector down_ports_;  ///< ports whose link is currently dead
+  BitVector up_cols_;     ///< complement of down_ports_ (column mask)
+  BitMatrix usable_;      ///< all-ones minus stuck SL cells
+  bool any_fault_ = false;
+  bool any_stuck_ = false;
   std::vector<BitMatrix> slots_;
   std::vector<bool> pinned_;
   BitMatrix b_star_;

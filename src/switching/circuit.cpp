@@ -12,7 +12,50 @@ CircuitNetwork::CircuitNetwork(Simulator& sim, const SystemParams& params,
     : Network(sim, params),
       options_(options),
       sources_(params.num_nodes),
-      outputs_(params.num_nodes) {}
+      outputs_(params.num_nodes) {
+  if (FaultModel* fm = fault_model()) {
+    fm->subscribe([this](NodeId node, bool up) { on_link_change(node, up); });
+  }
+}
+
+void CircuitNetwork::on_link_change(NodeId node, bool up) {
+  if (!up) {
+    for (NodeId u = 0; u < params_.num_nodes; ++u) {
+      SourceState& src = sources_[u];
+      // Transfers (or establishments) crossing the dead cable lose data;
+      // the message fails its CRC on arrival and is retransmitted.
+      if (src.busy && (u == node || src.active.dst == node)) {
+        mark_poisoned(src.active.id);
+      }
+      // An idle held circuit through the dead link is torn down so waiters
+      // are not starved across the outage.
+      if (!src.busy && src.held_circuit.has_value() &&
+          (u == node || *src.held_circuit == node)) {
+        const NodeId out = *src.held_circuit;
+        src.held_circuit.reset();
+        sim_.schedule_after(params_.control_wire_latency(),
+                            [this, out] { release_output(out); });
+      }
+    }
+    return;
+  }
+  // Repair. A source stalled on its own dead cable resumes...
+  SourceState& src = sources_[node];
+  if (src.waiting_repair) {
+    src.waiting_repair = false;
+    if (!src.busy) {
+      start_next_message(node);
+    }
+  }
+  // ...and requests parked on the repaired output port get granted.
+  OutputState& out = outputs_[node];
+  if (!out.busy && !out.waiters.empty()) {
+    const NodeId next = out.waiters.front();
+    out.waiters.pop_front();
+    out.busy = true;
+    grant_circuit(next);
+  }
+}
 
 void CircuitNetwork::do_submit(const Message& msg) {
   SourceState& src = sources_[msg.src];
@@ -33,6 +76,15 @@ void CircuitNetwork::start_next_message(NodeId src_id) {
       sim_.schedule_after(params_.control_wire_latency(),
                           [this, old_out] { release_output(old_out); });
     }
+    return;
+  }
+  if (const FaultModel* fm = fault_model();
+      fm != nullptr && !fm->link_up(src_id)) {
+    // This NIC's own cable is dead: the head message waits for repair. The
+    // source must read as idle (we can arrive here from send_complete with
+    // busy still set) or the repair handler would never resume it.
+    src.busy = false;
+    src.waiting_repair = true;
     return;
   }
   src.busy = true;
@@ -63,7 +115,10 @@ void CircuitNetwork::start_next_message(NodeId src_id) {
 void CircuitNetwork::request_arrived(NodeId src_id) {
   SourceState& src = sources_[src_id];
   OutputState& out = outputs_[src.active.dst];
-  if (out.busy) {
+  const FaultModel* fm = fault_model();
+  const bool dst_down = fm != nullptr && !fm->link_up(src.active.dst);
+  if (out.busy || dst_down) {
+    // Busy output or dead destination cable: queue FIFO at the scheduler.
     out.waiters.push_back(src_id);
     counters().counter("circuit_waits") += 1;
     return;
@@ -96,7 +151,10 @@ void CircuitNetwork::send_complete(NodeId src_id) {
       msg, send_done,
       send_done + params_.passive_path_latency() + params_.nic_cycle);
 
-  if (options_.hold_circuits) {
+  const FaultModel* fm = fault_model();
+  const bool pipe_alive =
+      fm == nullptr || (fm->link_up(src_id) && fm->link_up(msg.dst));
+  if (options_.hold_circuits && pipe_alive) {
     src.held_circuit = msg.dst;
   } else {
     // Teardown notice crosses the control wire; the output frees then.
@@ -111,6 +169,10 @@ void CircuitNetwork::release_output(NodeId out_id) {
   OutputState& out = outputs_[out_id];
   PMX_CHECK(out.busy, "releasing an idle circuit output");
   out.busy = false;
+  if (const FaultModel* fm = fault_model();
+      fm != nullptr && !fm->link_up(out_id)) {
+    return;  // dead output: waiters stay parked until the repair event
+  }
   if (!out.waiters.empty()) {
     const NodeId next = out.waiters.front();
     out.waiters.pop_front();

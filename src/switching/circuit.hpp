@@ -45,6 +45,8 @@ class CircuitNetwork final : public Network {
     Message active;
     /// Destination of a circuit this source still holds (hold_circuits).
     std::optional<NodeId> held_circuit;
+    /// Head message waits for this NIC's own dead cable to be repaired.
+    bool waiting_repair = false;
   };
 
   struct OutputState {
@@ -63,6 +65,9 @@ class CircuitNetwork final : public Network {
   void send_complete(NodeId src);
   /// Teardown notice reached the scheduler: free the port, serve waiters.
   void release_output(NodeId out);
+  /// Fault reaction: poison in-flight transfers, drop held circuits on the
+  /// dead link, resume stalled sources/waiters on repair.
+  void on_link_change(NodeId node, bool up);
 
   Options options_;
   std::vector<SourceState> sources_;

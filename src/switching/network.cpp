@@ -7,6 +7,14 @@ namespace pmx {
 Network::Network(Simulator& sim, const SystemParams& params)
     : sim_(sim), params_(params), link_(params.link) {
   params_.validate();
+  if (params_.fault.enabled()) {
+    fault_ = std::make_unique<FaultModel>(sim_, params_.fault,
+                                          params_.num_nodes);
+    // The base class observes link edges first (fault accounting and
+    // recovery tracking); paradigm-specific reactions subscribe after.
+    fault_->subscribe(
+        [this](NodeId node, bool up) { on_link_event(node, up); });
+  }
 }
 
 Message Network::submit(NodeId src, NodeId dst, std::uint64_t bytes,
@@ -23,12 +31,27 @@ Message Network::submit(NodeId src, NodeId dst, std::uint64_t bytes,
   msg.submit_time = sim_.now();
   msg.phase = phase;
   counters_.counter("submitted") += 1;
+  if (fault_) {
+    arq_.emplace(msg.id, ArqState{});
+    ++outstanding_;
+  }
   do_submit(msg);
   return msg;
 }
 
 void Network::notify_send_done(const Message& msg, TimeNs when) {
   PMX_CHECK(when >= sim_.now(), "send-done in the past");
+  if (fault_) {
+    // The processor-visible send completes once; retransmissions are
+    // autonomous NIC activity.
+    const auto it = arq_.find(msg.id);
+    if (it != arq_.end()) {
+      if (it->second.send_done_fired) {
+        return;
+      }
+      it->second.send_done_fired = true;
+    }
+  }
   if (send_done_) {
     sim_.schedule_at(when, [this, msg] { send_done_(msg); });
   }
@@ -37,21 +60,149 @@ void Network::notify_send_done(const Message& msg, TimeNs when) {
 void Network::notify_delivered(const Message& msg, TimeNs send_done,
                                TimeNs when) {
   PMX_CHECK(when >= sim_.now(), "delivery in the past");
-  sim_.schedule_at(when, [this, msg, send_done] {
-    MessageRecord rec;
-    rec.msg = msg;
-    rec.send_done = send_done;
-    rec.delivered = sim_.now();
-    records_.push_back(rec);
-    delivered_bytes_ += msg.bytes;
-    if (rec.delivered > last_delivery_) {
-      last_delivery_ = rec.delivered;
-    }
-    counters_.counter("delivered") += 1;
-    if (delivered_) {
-      delivered_(rec);
-    }
+  if (!fault_) {
+    sim_.schedule_at(when,
+                     [this, msg, send_done] { record_delivery(msg, send_done); });
+    return;
+  }
+  // CRC decision point: the copy that just finished its transfer is either
+  // intact or corrupted -- by a transient bit error (seeded draw) or by a
+  // hard fault that cut the link mid-transfer (poisoned).
+  wire_bytes_ += msg.bytes;
+  const bool poisoned = poisoned_.erase(msg.id) > 0;
+  const bool corrupt = fault_->corrupts_payload(msg.bytes) || poisoned;
+  sim_.schedule_at(when, [this, msg, send_done, corrupt] {
+    handle_arrival(msg, send_done, corrupt);
   });
+}
+
+void Network::record_delivery(const Message& msg, TimeNs send_done) {
+  MessageRecord rec;
+  rec.msg = msg;
+  rec.send_done = send_done;
+  rec.delivered = sim_.now();
+  records_.push_back(rec);
+  delivered_bytes_ += msg.bytes;
+  if (rec.delivered > last_delivery_) {
+    last_delivery_ = rec.delivered;
+  }
+  counters_.counter("delivered") += 1;
+  if (delivered_) {
+    delivered_(rec);
+  }
+}
+
+void Network::handle_arrival(const Message& msg, TimeNs send_done,
+                             bool corrupt) {
+  const auto it = arq_.find(msg.id);
+  PMX_CHECK(it != arq_.end(), "arrival for unknown message id");
+  ArqState& st = it->second;
+
+  if (corrupt) {
+    // Receiver's CRC check failed: the payload is discarded and a NACK
+    // crosses the control wire back to the sender.
+    counters_.counter("crc_corruptions") += 1;
+    if (st.attempts >= fault_->params().retry_budget) {
+      counters_.counter("messages_dropped") += 1;
+      ++dropped_;
+      if (!st.recorded) {
+        --outstanding_;
+      }
+      arq_.erase(it);
+      on_message_settled(msg);
+      if (dropped_fn_) {
+        dropped_fn_(msg);
+      }
+      return;
+    }
+    ++st.attempts;
+    schedule_retransmit(msg, params_.control_wire_latency());
+    return;
+  }
+
+  if (!st.recorded) {
+    st.recorded = true;
+    --outstanding_;
+    record_delivery(msg, send_done);
+    note_recovery(msg);
+  } else {
+    // A timeout retransmission raced a successfully delivered (but
+    // unacknowledged) copy: same sequence number, receiver drops it.
+    counters_.counter("duplicates_suppressed") += 1;
+  }
+
+  // ACK return path. A corrupted/lost ACK leaves the sender waiting; it
+  // retransmits after the ACK timeout and the receiver re-acknowledges the
+  // duplicate.
+  if (fault_->corrupts_ack()) {
+    counters_.counter("acks_lost") += 1;
+    if (st.attempts >= fault_->params().retry_budget) {
+      // The sender gives up re-sending; the data did arrive, so the
+      // message is complete from the network's point of view.
+      counters_.counter("ack_retries_exhausted") += 1;
+      arq_.erase(it);
+      on_message_settled(msg);
+      return;
+    }
+    ++st.attempts;
+    schedule_retransmit(msg, fault_->params().retransmit_timeout);
+    return;
+  }
+  arq_.erase(it);
+  on_message_settled(msg);
+}
+
+void Network::schedule_retransmit(const Message& msg, TimeNs extra_delay) {
+  counters_.counter("retransmits") += 1;
+  const std::size_t attempt = arq_.at(msg.id).attempts;
+  const TimeNs delay = extra_delay + fault_->backoff(attempt);
+  sim_.schedule_after(delay, [this, msg] { do_retransmit(msg); });
+}
+
+void Network::mark_poisoned(MessageId id) {
+  if (fault_) {
+    poisoned_.insert(id);
+  }
+}
+
+void Network::on_link_event(NodeId node, bool up) {
+  if (!up) {
+    counters_.counter("link_faults") += 1;
+    RecoveryRecord rec;
+    rec.node = node;
+    rec.down = sim_.now();
+    recoveries_.push_back(rec);
+    ++unrecovered_;
+    return;
+  }
+  counters_.counter("link_repairs") += 1;
+  for (auto it = recoveries_.rbegin(); it != recoveries_.rend(); ++it) {
+    if (it->node == node && !it->repaired.has_value()) {
+      it->repaired = sim_.now();
+      break;
+    }
+  }
+}
+
+void Network::note_recovery(const Message& msg) {
+  if (unrecovered_ == 0) {
+    return;
+  }
+  for (auto& rec : recoveries_) {
+    if (rec.recovered.has_value()) {
+      continue;
+    }
+    if (rec.node != msg.src && rec.node != msg.dst) {
+      continue;
+    }
+    if (!fault_->link_up(rec.node)) {
+      // A transfer that finished before the fault can still have its
+      // delivery event fire during the outage; that is not a recovery.
+      continue;
+    }
+    rec.recovered = sim_.now();
+    --unrecovered_;
+  }
 }
 
 }  // namespace pmx

@@ -1,29 +1,59 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "core/params.hpp"
+#include "fault/fault_model.hpp"
 #include "nic/message.hpp"
 #include "sim/simulator.hpp"
 
 namespace pmx {
+
+/// One hard-fault episode and how long delivery took to resume across the
+/// failed link (metrics: "time to recover").
+struct RecoveryRecord {
+  NodeId node = 0;
+  TimeNs down{};                     ///< when the link failed
+  std::optional<TimeNs> repaired;    ///< when it came back (if it did)
+  std::optional<TimeNs> recovered;   ///< first clean delivery touching the
+                                     ///< node after the fault
+};
 
 /// Common interface of all switching paradigms (wormhole, circuit switching,
 /// dynamic TDM, preloaded TDM). Each network model owns its control state
 /// and shares the Simulator with the traffic driver; completed messages are
 /// recorded uniformly so the benchmark harness can compute identical metrics
 /// for every paradigm.
+///
+/// When `params.fault.enabled()`, the base class additionally owns the
+/// FaultModel and a NIC reliability layer shared by every paradigm:
+/// messages are sequence-numbered (their MessageId), the receiver models a
+/// CRC check over the payload, corrupted arrivals are NACKed and
+/// retransmitted with exponential backoff under a bounded retry budget,
+/// lost ACKs trigger timeout retransmissions whose duplicates the receiver
+/// suppresses. Derived classes only decide *how* a retransmitted copy
+/// re-enters the NIC (do_retransmit) and may mark in-flight transfers as
+/// poisoned when a hard fault cuts the link under them.
 class Network {
  public:
   /// Invoked (as a simulation event) when the last byte of a message has
   /// left the source NIC; the traffic driver issues the node's next command
-  /// on this edge.
+  /// on this edge. Fired once per message (the first attempt), never for
+  /// retransmissions.
   using SendDoneFn = std::function<void(const Message&)>;
   /// Invoked when the last byte arrives at the destination NIC.
   using DeliveredFn = std::function<void(const MessageRecord&)>;
+  /// Invoked when the NIC permanently drops a message after exhausting its
+  /// retry budget (fault layer only). Progress accounting must treat the
+  /// message as resolved or a dead link would hang the run forever.
+  using DroppedFn = std::function<void(const Message&)>;
 
   Network(Simulator& sim, const SystemParams& params);
   virtual ~Network() = default;
@@ -43,6 +73,7 @@ class Network {
 
   void set_send_done_handler(SendDoneFn fn) { send_done_ = std::move(fn); }
   void set_delivered_handler(DeliveredFn fn) { delivered_ = std::move(fn); }
+  void set_dropped_handler(DroppedFn fn) { dropped_fn_ = std::move(fn); }
 
   [[nodiscard]] const std::vector<MessageRecord>& records() const {
     return records_;
@@ -61,28 +92,88 @@ class Network {
   [[nodiscard]] CounterSet& counters() { return counters_; }
   [[nodiscard]] const CounterSet& counters() const { return counters_; }
 
+  // --- Fault tolerance ----------------------------------------------------
+  /// True when the fault model and the NIC reliability layer are active.
+  [[nodiscard]] bool fault_tolerant() const { return fault_ != nullptr; }
+  [[nodiscard]] FaultModel* fault_model() { return fault_.get(); }
+  [[nodiscard]] const FaultModel* fault_model() const { return fault_.get(); }
+  /// Bytes that crossed the fabric, including retransmitted copies (equals
+  /// delivered_bytes() when nothing ever failed; zero when the fault layer
+  /// is disabled -- use delivered_bytes() then).
+  [[nodiscard]] std::uint64_t wire_bytes() const { return wire_bytes_; }
+  /// Messages submitted but not yet delivered clean nor dropped.
+  [[nodiscard]] std::size_t outstanding_reliable() const {
+    return outstanding_;
+  }
+  /// Messages permanently dropped after exhausting the retry budget.
+  [[nodiscard]] std::size_t dropped_messages() const { return dropped_; }
+  /// Hard-fault episodes observed by this network, with recovery times.
+  [[nodiscard]] const std::vector<RecoveryRecord>& recoveries() const {
+    return recoveries_;
+  }
+
  protected:
   /// Paradigm-specific acceptance of a submitted message.
   virtual void do_submit(const Message& msg) = 0;
+  /// Paradigm-specific acceptance of a retransmitted copy. The default
+  /// re-enters through do_submit (same VOQ/FIFO path as a fresh message);
+  /// paradigms with compiled traffic budgets override this to re-credit
+  /// the retransmitted bytes.
+  virtual void do_retransmit(const Message& msg) { do_submit(msg); }
+  /// A message left the reliability state machine for good: acknowledged
+  /// clean, dropped after the retry budget, or abandoned after repeated ACK
+  /// loss. No further retransmitted copy of it will ever enter the network.
+  /// Paradigms with phase-scoped budgets hook this to know when a phase can
+  /// safely retire. Only fired when the fault layer is active.
+  virtual void on_message_settled(const Message& msg) { (void)msg; }
 
   /// Record completion of the source side and fire the send-done handler.
   /// `when` must be >= now; the callback runs as an event at that time.
   void notify_send_done(const Message& msg, TimeNs when);
-  /// Record delivery and fire the delivered handler at `when`.
+  /// Record delivery and fire the delivered handler at `when`. With the
+  /// fault layer active this is the CRC/ACK decision point instead.
   void notify_delivered(const Message& msg, TimeNs send_done, TimeNs when);
+
+  /// Mark an in-flight transfer as corrupted by a hard fault: its next
+  /// arrival fails the CRC check regardless of the transient-error draw.
+  /// Called by paradigms when a link dies under an active transfer.
+  void mark_poisoned(MessageId id);
 
   Simulator& sim_;
   SystemParams params_;
   LinkModel link_;
 
  private:
+  /// Per-message ARQ state (stop-and-wait per message id).
+  struct ArqState {
+    std::size_t attempts = 1;
+    bool send_done_fired = false;
+    bool recorded = false;  ///< a clean copy reached the receiver
+  };
+
+  void record_delivery(const Message& msg, TimeNs send_done);
+  void handle_arrival(const Message& msg, TimeNs send_done, bool corrupt);
+  void schedule_retransmit(const Message& msg, TimeNs extra_delay);
+  void on_link_event(NodeId node, bool up);
+  void note_recovery(const Message& msg);
+
   SendDoneFn send_done_;
   DeliveredFn delivered_;
+  DroppedFn dropped_fn_;
   std::vector<MessageRecord> records_;
   std::uint64_t delivered_bytes_ = 0;
   TimeNs last_delivery_{};
   MessageId next_id_ = 1;
   CounterSet counters_;
+
+  std::unique_ptr<FaultModel> fault_;
+  std::unordered_map<MessageId, ArqState> arq_;
+  std::unordered_set<MessageId> poisoned_;
+  std::vector<RecoveryRecord> recoveries_;
+  std::size_t unrecovered_ = 0;
+  std::uint64_t wire_bytes_ = 0;
+  std::size_t outstanding_ = 0;
+  std::size_t dropped_ = 0;
 };
 
 }  // namespace pmx

@@ -35,6 +35,7 @@ PreloadTdmNetwork::PreloadTdmNetwork(Simulator& sim,
       slot_clock_(sim, params.slot_length, [this] { on_slot_tick(); }) {
   PMX_CHECK(!plan_.phases.empty(), "compiled plan has no phases");
   config_sent_.assign(plan_.phases[0].configs.size(), 0);
+  phase_unsettled_.assign(plan_.phases.size(), 0);
   maybe_advance_phase();  // skips leading empty phases
   fill_free_slots();
   slot_clock_.start();
@@ -55,6 +56,30 @@ void PreloadTdmNetwork::do_submit(const Message& msg) {
             "message pair missing from compiled plan");
   voqs_[msg.src].push(msg);
   sched_.set_request(msg.src, msg.dst, true);
+  if (fault_tolerant() && !retransmitting_) {
+    ++phase_unsettled_[msg.phase];
+  }
+}
+
+void PreloadTdmNetwork::do_retransmit(const Message& msg) {
+  // The phase is held open (maybe_advance_phase) while any of its messages
+  // is unsettled, so the copy always re-enters its own phase.
+  PMX_CHECK(msg.phase == phase_, "retransmission crossed a phase boundary");
+  const std::size_t cfg = plan_.phases[phase_].config_of(msg.src, msg.dst);
+  if (cfg != PhasePlan::kNoConfig) {
+    // Give the bytes back to the compiled budget: the configuration must
+    // stay loadable until the retransmitted copy has drained through it.
+    config_sent_[cfg] -= std::min<std::uint64_t>(config_sent_[cfg], msg.bytes);
+  }
+  retransmitting_ = true;
+  do_submit(msg);
+  retransmitting_ = false;
+}
+
+void PreloadTdmNetwork::on_message_settled(const Message& msg) {
+  PMX_CHECK(phase_unsettled_[msg.phase] > 0,
+            "settling a message its phase never counted");
+  --phase_unsettled_[msg.phase];
 }
 
 bool PreloadTdmNetwork::phase_drained() const {
@@ -69,6 +94,12 @@ bool PreloadTdmNetwork::phase_drained() const {
 
 void PreloadTdmNetwork::maybe_advance_phase() {
   while (phase_drained() && phase_ + 1 < plan_.phases.size()) {
+    if (fault_tolerant() && phase_unsettled_[phase_] > 0) {
+      // Every byte crossed the fabric, but some message is still awaiting
+      // its ACK (or a retransmission): hold the phase so a late copy can
+      // re-credit and reuse this phase's configurations.
+      return;
+    }
     ++phase_;
     config_sent_.assign(plan_.phases[phase_].configs.size(), 0);
     for (std::size_t s = 0; s < slot_config_.size(); ++s) {
@@ -140,6 +171,7 @@ void PreloadTdmNetwork::on_slot_tick() {
   std::uint64_t transmitted = 0;
 
   if (slot) {
+    const FaultModel* fm = fault_model();
     const PhasePlan& phase = plan_.phases[phase_];
     for (NodeId u = 0; u < params_.num_nodes; ++u) {
       const auto granted = sched_.granted_output(u);
@@ -147,6 +179,11 @@ void PreloadTdmNetwork::on_slot_tick() {
         continue;
       }
       const NodeId v = *granted;
+      if (fm != nullptr && (!fm->link_up(u) || !fm->link_up(v))) {
+        // The preloaded configuration stays pinned through the outage; the
+        // pair simply transmits nothing until the cable is repaired.
+        continue;
+      }
       const std::size_t cfg = phase.config_of(u, v);
       std::uint64_t budget = params_.slot_payload_bytes();
       std::uint64_t sent = 0;

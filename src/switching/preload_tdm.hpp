@@ -36,6 +36,11 @@ class PreloadTdmNetwork final : public Network {
 
  protected:
   void do_submit(const Message& msg) override;
+  /// A retransmitted copy re-enters the NIC: its bytes are re-credited to
+  /// the compiled configuration budget so the phase does not retire before
+  /// the copy has actually crossed the fabric.
+  void do_retransmit(const Message& msg) override;
+  void on_message_settled(const Message& msg) override;
 
  private:
   void on_slot_tick();
@@ -53,6 +58,11 @@ class PreloadTdmNetwork final : public Network {
 
   std::size_t phase_ = 0;
   std::vector<std::uint64_t> config_sent_;
+  /// Per-phase count of messages still inside the reliability state machine
+  /// (fault layer only). A phase is held open until its count hits zero so
+  /// retransmissions never cross a phase boundary.
+  std::vector<std::uint64_t> phase_unsettled_;
+  bool retransmitting_ = false;
   /// Which plan configuration each scheduler slot currently holds.
   std::vector<std::optional<std::size_t>> slot_config_;
   /// Consecutive slots with queued traffic but no transmission.

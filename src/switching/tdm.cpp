@@ -43,8 +43,33 @@ TdmNetwork::TdmNetwork(Simulator& sim, const SystemParams& params,
     PMX_CHECK(rx_drain_ > 0, "finite receive buffer needs a drain rate");
     rx_occupancy_.assign(params.num_nodes, 0);
   }
+  if (FaultModel* fm = fault_model()) {
+    // Stuck SL cells are permanent manufacturing faults: masked from every
+    // scheduling pass from the start.
+    for (const auto& [u, v] : fm->stuck_cells()) {
+      sched_.set_stuck_cell(u, v);
+    }
+    fm->subscribe([this](NodeId node, bool up) { on_link_change(node, up); });
+  }
   slot_clock_.start();
   sl_clock_.start();
+}
+
+void TdmNetwork::on_link_change(NodeId node, bool up) {
+  if (!up) {
+    // Mask the dead port out of the request/grant matrices and
+    // force-release its established connections so their slots are
+    // reclaimed; the predictors evict them like any other release.
+    for (const auto& [u, v] : sched_.set_port_fault(node, true)) {
+      sched_.unhold(u, v);
+      predictor_->on_release(Conn{u, v}, sim_.now());
+      counters().counter("forced_releases") += 1;
+    }
+    return;
+  }
+  // Repair: unmask. Pending requests (messages still queued in the VOQs)
+  // re-establish on the following scheduling passes.
+  sched_.set_port_fault(node, false);
 }
 
 void TdmNetwork::preload(std::size_t slot, const BitMatrix& config,

@@ -80,6 +80,7 @@ class TdmNetwork : public Network {
  private:
   void on_slot_tick();
   void on_sl_tick();
+  void on_link_change(NodeId node, bool up);
 
   TdmScheduler sched_;
   Crossbar xbar_;

@@ -10,7 +10,32 @@ WormholeNetwork::WormholeNetwork(Simulator& sim, const SystemParams& params)
     : Network(sim, params),
       sources_(params.num_nodes, SourceState(params.num_nodes)),
       output_busy_(params.num_nodes, false),
-      output_rr_(params.num_nodes, 0) {}
+      output_rr_(params.num_nodes, 0) {
+  if (FaultModel* fm = fault_model()) {
+    fm->subscribe([this](NodeId node, bool up) { on_link_change(node, up); });
+  }
+}
+
+void WormholeNetwork::on_link_change(NodeId node, bool up) {
+  if (!up) {
+    // Worms crossing the dead link lose flits; the end-to-end CRC over the
+    // whole message fails and the NIC retransmits the message.
+    for (NodeId u = 0; u < params_.num_nodes; ++u) {
+      SourceState& src = sources_[u];
+      if (src.busy && (u == node || src.active_dst == node)) {
+        mark_poisoned(src.active_msg);
+      }
+    }
+    return;
+  }
+  // Repair: idle inputs may now have dispatchable traffic again (either
+  // their own link returned or the repaired output unblocks a VOQ).
+  for (NodeId u = 0; u < params_.num_nodes; ++u) {
+    if (!sources_[u].busy) {
+      try_dispatch(u);
+    }
+  }
+}
 
 std::uint64_t WormholeNetwork::queued_bytes() const {
   std::uint64_t total = 0;
@@ -32,14 +57,23 @@ void WormholeNetwork::try_dispatch(NodeId src_id) {
   if (src.busy) {
     return;
   }
+  const FaultModel* fm = fault_model();
+  if (fm != nullptr && !fm->link_up(src_id)) {
+    return;  // input cable dead: nothing leaves this NIC until repair
+  }
   const std::size_t n = params_.num_nodes;
   for (std::size_t i = 0; i < n; ++i) {
     const NodeId v = (src.rr + i) % n;
     if (src.voqs.empty(v) || output_busy_[v]) {
       continue;
     }
+    if (fm != nullptr && !fm->link_up(v)) {
+      continue;  // output cable dead: keep the VOQ queued until repair
+    }
     src.rr = (v + 1) % n;
     src.busy = true;
+    src.active_dst = v;
+    src.active_msg = src.voqs.head(v).id;
     output_busy_[v] = true;
     const std::uint64_t worm_bytes =
         std::min(src.voqs.head_remaining(v), params_.max_worm_bytes);

@@ -42,11 +42,16 @@ class WormholeNetwork final : public Network {
   void try_dispatch(NodeId src);
   /// End-of-worm bookkeeping: release ports, finish messages, rematch.
   void worm_done(NodeId src, NodeId dst, std::uint64_t worm_bytes);
+  /// Fault reaction: poison in-flight worms on a dead link; rematch idle
+  /// inputs when a link comes back.
+  void on_link_change(NodeId node, bool up);
 
   struct SourceState {
     VoqSet voqs;
     bool busy = false;     ///< a worm from this input is in flight
     std::size_t rr = 0;    ///< round-robin cursor over destinations
+    NodeId active_dst = 0;      ///< destination of the in-flight worm
+    MessageId active_msg = 0;   ///< message the in-flight worm belongs to
     explicit SourceState(std::size_t n) : voqs(n) {}
   };
 

@@ -13,6 +13,13 @@ namespace {
                            what);
 }
 
+void expect_line_end(std::istringstream& ls, std::size_t lineno) {
+  std::string extra;
+  if (ls >> extra) {
+    fail(lineno, "trailing tokens after command");
+  }
+}
+
 }  // namespace
 
 Workload parse(std::istream& in) {
@@ -34,13 +41,16 @@ Workload parse(std::istream& in) {
       continue;  // blank or comment-only line
     }
     if (op == "nodes") {
+      // Reject a duplicate declaration before touching w.programs: a second
+      // 'nodes' line must never shrink (and orphan) already-parsed programs.
+      if (have_nodes) {
+        fail(lineno, "duplicate 'nodes' declaration");
+      }
       std::size_t n = 0;
       if (!(ls >> n) || n == 0) {
         fail(lineno, "expected positive node count");
       }
-      if (have_nodes) {
-        fail(lineno, "duplicate 'nodes' declaration");
-      }
+      expect_line_end(ls, lineno);
       w.programs.resize(n);
       have_nodes = true;
       continue;
@@ -53,6 +63,7 @@ Workload parse(std::istream& in) {
       if (!(ls >> id) || id >= w.programs.size()) {
         fail(lineno, "invalid node id");
       }
+      expect_line_end(ls, lineno);
       current = id;
       have_current = true;
       continue;
@@ -83,13 +94,14 @@ Workload parse(std::istream& in) {
     } else {
       fail(lineno, "unknown command '" + op + "'");
     }
-    std::string extra;
-    if (ls >> extra) {
-      fail(lineno, "trailing tokens after command");
-    }
+    expect_line_end(ls, lineno);
   }
   if (!have_nodes) {
-    fail(lineno, "empty command file");
+    // Not attributed to a line: an empty stream never advanced lineno past
+    // zero, and "line 0" would point at nothing.
+    throw std::runtime_error(
+        lineno == 0 ? "command file is empty (expected 'nodes <n>')"
+                    : "command file has no 'nodes <n>' declaration");
   }
   return w;
 }

@@ -144,5 +144,52 @@ TEST(CommandFile, ErrorMissingFile) {
                std::runtime_error);
 }
 
+TEST(CommandFile, ErrorEmptyFileHasSaneMessage) {
+  try {
+    (void)command_file::parse_string("");
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("empty"), std::string::npos) << what;
+    // An empty stream never reached line 1; the message must not invent a
+    // bogus "line 0" location.
+    EXPECT_EQ(what.find("line 0"), std::string::npos) << what;
+  }
+}
+
+TEST(CommandFile, ErrorCommentOnlyFileMentionsMissingNodes) {
+  try {
+    (void)command_file::parse_string("# just a comment\n\n");
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nodes"), std::string::npos) << what;
+    EXPECT_EQ(what.find("line 0"), std::string::npos) << what;
+  }
+}
+
+TEST(CommandFile, ErrorDuplicateNodesRejectedBeforeResize) {
+  // The second declaration must be rejected as a duplicate even when its
+  // count is unparseable -- i.e. before any attempt to resize the program
+  // list with a new value.
+  try {
+    (void)command_file::parse_string("nodes 2\nnodes banana\n");
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CommandFile, ErrorTrailingTokensOnNodesLine) {
+  EXPECT_THROW((void)command_file::parse_string("nodes 2 3\n"),
+               std::runtime_error);
+}
+
+TEST(CommandFile, ErrorTrailingTokensOnNodeLine) {
+  EXPECT_THROW((void)command_file::parse_string("nodes 2\nnode 0 1\n"),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace pmx

@@ -97,6 +97,81 @@ TEST(FlowControl, FastDrainMatchesUnlimited) {
   EXPECT_EQ(run(0), run(4096));
 }
 
+TEST(FlowControl, ZeroBufferMeansUnlimitedEvenWithZeroDrain) {
+  // receiver_buffer_bytes == 0 disables flow control entirely; the drain
+  // rate is then irrelevant (even 0) and nothing may stall or deadlock.
+  Simulator sim;
+  TdmNetwork::Options options;
+  options.receiver_buffer_bytes = 0;
+  options.receiver_drain_per_slot = 0;
+  TdmNetwork net(sim, small_params(), std::move(options));
+  net.submit(0, 1, 4096);
+  sim.run_until(1000_us);
+  EXPECT_EQ(net.queued_bytes(), 0u);
+  EXPECT_EQ(net.counters().value("backpressure_stalls"), 0u);
+  EXPECT_EQ(net.receiver_occupancy(1), 0u);
+}
+
+TEST(FlowControl, BufferOfExactlyOneSlotPayloadDoesNotDeadlock) {
+  // The smallest legal buffer: one slot payload. The sender can fill it in
+  // a single slot and must then wait for the drain; with a slow drain this
+  // is the tightest credit loop the system supports.
+  SystemParams p = small_params();
+  const std::uint64_t payload = p.slot_payload_bytes();
+  Simulator sim;
+  TdmNetwork::Options options;
+  options.receiver_buffer_bytes = payload;  // boundary: exactly one slot
+  options.receiver_drain_per_slot = 8;
+  TdmNetwork net(sim, p, std::move(options));
+  net.submit(0, 1, 1024);
+  sim.run_until(5000_us);
+  EXPECT_EQ(net.queued_bytes(), 0u) << "credit loop deadlocked";
+  EXPECT_GT(net.counters().value("backpressure_stalls"), 0u);
+}
+
+TEST(FlowControl, MinimalDrainRateStillCompletes) {
+  // drain == 1 byte/slot is pathological but legal; the transfer crawls
+  // yet must finish without wedging or underflowing credits.
+  SystemParams p = small_params();
+  Simulator sim;
+  TdmNetwork::Options options;
+  options.receiver_buffer_bytes = p.slot_payload_bytes();
+  options.receiver_drain_per_slot = 1;
+  TdmNetwork net(sim, p, std::move(options));
+  net.submit(0, 1, 128);
+  sim.run_until(20'000_us);
+  EXPECT_EQ(net.queued_bytes(), 0u);
+  EXPECT_EQ(net.delivered_count(), 1u);
+}
+
+TEST(FlowControl, CreditsNeverUnderflowAtBoundaryBuffer) {
+  // Several senders hammer one receiver whose buffer is exactly one slot
+  // payload. If credits ever underflowed, occupancy would exceed the
+  // buffer (the credit subtraction rx_buffer - occupancy would wrap).
+  SystemParams p = small_params();
+  const std::uint64_t payload = p.slot_payload_bytes();
+  Simulator sim;
+  TdmNetwork::Options options;
+  options.receiver_buffer_bytes = payload;
+  options.receiver_drain_per_slot = 4;
+  TdmNetwork net(sim, p, std::move(options));
+  for (NodeId u = 0; u < 4; ++u) {
+    net.submit(u, 7, 256);
+  }
+  bool done = false;
+  std::function<void()> sample = [&] {
+    ASSERT_LE(net.receiver_occupancy(7), payload);
+    if (!done) {
+      sim.schedule_after(100_ns, sample);
+    }
+  };
+  sim.schedule_after(50_ns, sample);
+  sim.run_until(10'000_us);
+  done = true;
+  sim.run_until(10'001_us);
+  EXPECT_EQ(net.queued_bytes(), 0u);
+}
+
 TEST(FlowControlDeathTest, BufferSmallerThanSlotPayloadRejected) {
   Simulator sim;
   TdmNetwork::Options options;
