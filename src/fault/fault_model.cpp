@@ -11,6 +11,10 @@ void FaultParams::validate(std::size_t num_nodes) const {
   PMX_CHECK(ack_ber <= 1.0, "ack bit-error rate must be <= 1");
   PMX_CHECK(link_mtbf >= TimeNs::zero(), "negative link MTBF");
   PMX_CHECK(link_repair >= TimeNs::zero(), "negative link repair time");
+  PMX_CHECK(link_mtbf == TimeNs::zero() || link_repair > TimeNs::zero(),
+            "random link faults require link_repair > 0: a permanently dead "
+            "link parks queued traffic forever (scripted inject_link_fault "
+            "still allows permanent outages)");
   PMX_CHECK(retry_budget >= 1, "retry budget must allow at least one attempt");
   PMX_CHECK(retransmit_timeout > TimeNs::zero(),
             "retransmit timeout must be positive");
@@ -62,6 +66,10 @@ FaultModel::FaultModel(Simulator& sim, const FaultParams& params,
 }
 
 bool FaultModel::corrupts_payload(std::uint64_t bytes) {
+  if (forced_corruptions_ > 0) {
+    --forced_corruptions_;
+    return true;
+  }
   if (params_.ber <= 0.0) {
     return false;  // no RNG draw: the zero-rate model stays timing-neutral
   }

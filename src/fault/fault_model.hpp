@@ -35,8 +35,14 @@ struct FaultParams {
   /// Mean time between hard failures of one node's cable (exponentially
   /// distributed, independent per link). Zero disables hard link faults.
   TimeNs link_mtbf{0};
-  /// Time a failed link stays down before it is repaired. Zero means a
-  /// failed link never comes back.
+  /// Time a failed link stays down before it is repaired. Must be positive
+  /// whenever `link_mtbf` is nonzero (validated): the retry budget is only
+  /// consumed by arrivals, so traffic queued to or from a permanently dead
+  /// link would wait for the repair forever and the run would hang instead
+  /// of degrading. Permanent outages are still available for tests via the
+  /// scripted `FaultModel::inject_link_fault` with a zero duration -- the
+  /// caller then owns the no-hang guarantee (don't route barrier traffic
+  /// over the dead node, or bound the run with a horizon).
   TimeNs link_repair{0};
   /// Global cap on randomly injected hard link faults (keeps long
   /// simulations from degenerating into permanent outage churn).
@@ -108,6 +114,12 @@ class FaultModel {
   /// Transient corruption draw for one ACK/NACK (consumes RNG).
   [[nodiscard]] bool corrupts_ack();
 
+  /// Scripted corruption: the next `n` payload arrivals fail their CRC
+  /// check regardless of the random draw (the RNG stream is not consumed).
+  /// Deterministic test hook, the transient-error analogue of
+  /// inject_link_fault.
+  void force_corrupt_payloads(std::size_t n) { forced_corruptions_ += n; }
+
   /// Retransmission backoff before attempt `attempt` (attempt 2 is the
   /// first retransmission): base * 2^(attempt-2), capped.
   [[nodiscard]] TimeNs backoff(std::size_t attempt) const;
@@ -135,6 +147,8 @@ class FaultModel {
   Rng fault_rng_;    ///< hard-fault timeline draws
   double payload_log1m_ber_ = 0.0;  ///< log(1-ber), cached
   double ack_corrupt_p_ = 0.0;      ///< corruption prob. of one ACK
+
+  std::size_t forced_corruptions_ = 0;  ///< scripted CRC failures pending
 
   std::vector<bool> up_;
   std::size_t links_down_ = 0;

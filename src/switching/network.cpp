@@ -103,11 +103,22 @@ void Network::handle_arrival(const Message& msg, TimeNs send_done,
     // crosses the control wire back to the sender.
     counters_.counter("crc_corruptions") += 1;
     if (st.attempts >= fault_->params().retry_budget) {
+      if (st.recorded) {
+        // A clean copy already reached the receiver on an earlier attempt
+        // and only the sender's confirmation is missing (this corrupted
+        // arrival is a timeout duplicate). Settle as complete, mirroring
+        // the lost-ACK exhaustion path below: the drop path would count a
+        // delivered message as dropped too, and the driver's progress
+        // accounting (delivered + dropped == submitted) could never
+        // balance again.
+        counters_.counter("ack_retries_exhausted") += 1;
+        arq_.erase(it);
+        on_message_settled(msg);
+        return;
+      }
       counters_.counter("messages_dropped") += 1;
       ++dropped_;
-      if (!st.recorded) {
-        --outstanding_;
-      }
+      --outstanding_;
       arq_.erase(it);
       on_message_settled(msg);
       if (dropped_fn_) {

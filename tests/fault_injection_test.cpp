@@ -88,6 +88,43 @@ TEST(FaultInjection, RetryBudgetExhaustionDropsAndTerminates) {
   EXPECT_EQ(net.counters().value("crc_corruptions"), 4u);
 }
 
+TEST(FaultInjection, CorruptDuplicateAtBudgetOfDeliveredMessageSettles) {
+  // Regression: a message delivered clean whose ACK keeps getting lost and
+  // whose final timeout duplicate arrives *corrupted* at the retry budget
+  // must settle as complete, not as a drop. The drop path would count the
+  // same message as both delivered and dropped, so delivered + dropped >
+  // submitted and the driver's barrier/stop accounting would never balance.
+  SystemParams p;
+  p.num_nodes = 4;
+  p.fault.ack_ber = 1.0;  // every ACK lost: retransmit up to the budget
+  p.fault.retry_budget = 2;
+  p.fault.backoff_base = 100_ns;
+  p.fault.backoff_cap = 200_ns;
+  Simulator sim;
+  WormholeNetwork net(sim, p);
+  bool dropped_seen = false;
+  net.set_dropped_handler([&](const Message&) { dropped_seen = true; });
+  // Script the corruption of the retransmitted duplicate: the flag is set
+  // when the first copy records clean, so only the second copy on the wire
+  // fails its CRC check.
+  net.set_delivered_handler([&](const MessageRecord&) {
+    net.fault_model()->force_corrupt_payloads(1);
+  });
+  net.submit(0, 1, 256);
+  sim.run_until(10'000_us);
+  // Attempt 1 arrived clean (recorded), its ACK was lost, attempt 2 arrived
+  // corrupted with the budget exhausted: complete, never dropped.
+  EXPECT_EQ(net.delivered_count(), 1u);
+  EXPECT_EQ(net.dropped_messages(), 0u);
+  EXPECT_FALSE(dropped_seen);
+  EXPECT_EQ(net.outstanding_reliable(), 0u);
+  EXPECT_EQ(net.delivered_count() + net.dropped_messages(),
+            net.submitted_count());
+  EXPECT_EQ(net.counters().value("crc_corruptions"), 1u);
+  EXPECT_EQ(net.counters().value("acks_lost"), 1u);
+  EXPECT_EQ(net.counters().value("ack_retries_exhausted"), 1u);
+}
+
 TEST(FaultInjection, WormholeHealsAcrossLinkOutage) {
   SystemParams p;
   p.num_nodes = 8;

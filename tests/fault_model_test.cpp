@@ -49,6 +49,16 @@ TEST(FaultParams, AckBerDerivesFromBerByDefault) {
   EXPECT_DOUBLE_EQ(p.effective_ack_ber(), 0.0);
 }
 
+TEST(FaultParams, RandomFaultsWithoutRepairAreRejected) {
+  // The retry budget is only consumed by arrivals, so a randomly failed
+  // link that never repairs would park queued traffic forever instead of
+  // degrading the run. Permanent outages are scripted-only.
+  Simulator sim;
+  FaultParams p;
+  p.link_mtbf = 1000_ns;  // link_repair left at zero
+  EXPECT_DEATH(FaultModel fm(sim, p, 8), "link_repair");
+}
+
 TEST(FaultModel, ZeroBerNeverCorrupts) {
   Simulator sim;
   FaultParams p;
