@@ -6,7 +6,7 @@
 // without conflict, and the end-to-end preloaded-TDM efficiency when the
 // compiled plan respects the Omega constraints (same slot count K).
 //
-// Usage: bench_ablation_fabric [--nodes N] [--bytes B]
+// Usage: bench_ablation_fabric [--nodes N] [--bytes B] [--jobs J]
 
 #include <iostream>
 #include <vector>
@@ -16,6 +16,7 @@
 #include "compiled/plan.hpp"
 #include "core/driver.hpp"
 #include "core/metrics.hpp"
+#include "core/sweep.hpp"
 #include "fabric/fattree.hpp"
 #include "fabric/omega.hpp"
 #include "sim/simulator.hpp"
@@ -39,6 +40,12 @@ double run_preload(const pmx::Workload& w, pmx::CompiledPlan plan,
   return pmx::compute_metrics(w, net).efficiency;
 }
 
+/// One (workload, fabric) point: plan degree + end-to-end efficiency.
+struct FabricPoint {
+  std::size_t degree = 0;
+  double efficiency = -1.0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,6 +54,7 @@ int main(int argc, char** argv) {
   const pmx::Config cfg = pmx::Config::from_cli(argc, argv);
   nodes = cfg.get_uint("nodes", nodes);
   bytes = cfg.get_uint("bytes", bytes);
+  const pmx::SweepOptions sweep{cfg.get_uint("jobs", 1)};
   cfg.fail_unread("bench_ablation_fabric");
   const pmx::OmegaNetwork omega(nodes);
   // Fat tree: 8 leaves, 2:1 oversubscription.
@@ -64,29 +72,48 @@ int main(int argc, char** argv) {
       {"all-to-all", pmx::patterns::all_to_all(nodes, bytes)},
   };
 
+  // Flatten (workload, fabric) — plan compilation dominates some points, so
+  // each point compiles its own plan inside the sweep body.
+  constexpr std::size_t kFabrics = 3;  // xbar, omega, fattree
+  const std::vector<FabricPoint> points = pmx::sweep_map<FabricPoint>(
+      workloads.size() * kFabrics,
+      [&](std::size_t i) {
+        const pmx::Workload& w = workloads[i / kFabrics].workload;
+        pmx::CompiledPlan plan = [&] {
+          switch (i % kFabrics) {
+            case 0:
+              return pmx::compile_workload(w);
+            case 1:
+              return pmx::compile_workload_omega(w, omega);
+            default:
+              return pmx::compile_workload_fattree(w, tree);
+          }
+        }();
+        FabricPoint point;
+        point.degree = plan.max_degree();
+        point.efficiency = run_preload(w, std::move(plan), nodes);
+        return point;
+      },
+      sweep);
+
   std::cout << "Ablation A4: crossbar vs Omega multistage fabric (" << nodes
             << " nodes, " << omega.stages() << " stages, " << bytes
             << "-byte messages, preload TDM K=4)\n\n";
   pmx::Table table({"workload", "xbar deg", "omega deg", "fattree deg",
                     "xbar eff", "omega eff", "fattree eff"});
-  for (const auto& [name, w] : workloads) {
-    pmx::CompiledPlan xbar_plan = pmx::compile_workload(w);
-    pmx::CompiledPlan omega_plan = pmx::compile_workload_omega(w, omega);
-    pmx::CompiledPlan tree_plan = pmx::compile_workload_fattree(w, tree);
-    const std::size_t xbar_deg = xbar_plan.max_degree();
-    const std::size_t omega_deg = omega_plan.max_degree();
-    const std::size_t tree_deg = tree_plan.max_degree();
-    const double xbar_eff = run_preload(w, std::move(xbar_plan), nodes);
-    const double omega_eff = run_preload(w, std::move(omega_plan), nodes);
-    const double tree_eff = run_preload(w, std::move(tree_plan), nodes);
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const FabricPoint& xbar = points[w * kFabrics + 0];
+    const FabricPoint& om = points[w * kFabrics + 1];
+    const FabricPoint& ft = points[w * kFabrics + 2];
     const auto cell = [](double e) {
       return e < 0 ? std::string("DNF") : pmx::Table::fmt(e, 3);
     };
-    table.add_row({name,
-                   pmx::Table::fmt(static_cast<std::uint64_t>(xbar_deg)),
-                   pmx::Table::fmt(static_cast<std::uint64_t>(omega_deg)),
-                   pmx::Table::fmt(static_cast<std::uint64_t>(tree_deg)),
-                   cell(xbar_eff), cell(omega_eff), cell(tree_eff)});
+    table.add_row(
+        {workloads[w].name,
+         pmx::Table::fmt(static_cast<std::uint64_t>(xbar.degree)),
+         pmx::Table::fmt(static_cast<std::uint64_t>(om.degree)),
+         pmx::Table::fmt(static_cast<std::uint64_t>(ft.degree)),
+         cell(xbar.efficiency), cell(om.efficiency), cell(ft.efficiency)});
   }
   table.print(std::cout);
   std::cout << "\ndegree = configurations needed to realize the working set "

@@ -15,6 +15,7 @@
 //
 // Usage: bench_ablation_faults [--nodes N] [--bytes B] [--rounds R]
 //                              [--seed S] [--mtbf NS] [--repair NS]
+//                              [--jobs J]
 
 #include <cstdint>
 #include <iostream>
@@ -24,6 +25,7 @@
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "traffic/patterns.hpp"
 
 namespace {
@@ -76,6 +78,7 @@ int main(int argc, char** argv) {
       cfg.get_uint("mtbf", 100'000))};
   const pmx::TimeNs repair{static_cast<std::int64_t>(
       cfg.get_uint("repair", 20'000))};
+  const pmx::SweepOptions sweep{cfg.get_uint("jobs", 1)};
   cfg.fail_unread("bench_ablation_faults");
 
   const pmx::Workload workload =
@@ -86,16 +89,50 @@ int main(int argc, char** argv) {
             << " nodes, " << bytes << "-byte messages, " << messages
             << " messages, seed " << seed << ")\n";
 
+  // Five fault scenarios (clean, three BERs, hard faults), four paradigms
+  // each. Flattened to (scenario, kind) for the sweep; scenarios stay in
+  // print order.
+  const std::vector<double> bers{1e-5, 1e-4, 5e-4};
+  std::vector<pmx::FaultParams> scenarios;
+  {
+    pmx::FaultParams clean;
+    clean.seed = seed;
+    clean.force_enable = true;
+    scenarios.push_back(clean);
+    for (const double ber : bers) {
+      pmx::FaultParams fault;
+      fault.seed = seed;
+      fault.ber = ber;
+      scenarios.push_back(fault);
+    }
+    pmx::FaultParams hard;
+    hard.seed = seed;
+    hard.link_mtbf = mtbf;
+    hard.link_repair = repair;
+    hard.max_link_faults = 16;
+    scenarios.push_back(hard);
+  }
+  constexpr std::size_t kNumKinds = std::size(kKinds);
+  const std::vector<ScenarioResult> results =
+      pmx::sweep_map<ScenarioResult>(
+          scenarios.size() * kNumKinds,
+          [&](std::size_t i) {
+            return run(kKinds[i % kNumKinds], scenarios[i / kNumKinds],
+                       nodes, workload);
+          },
+          sweep);
+  const auto scenario_result = [&](std::size_t s,
+                                   std::size_t k) -> const ScenarioResult& {
+    return results[s * kNumKinds + k];
+  };
+
   // --- Scenario 1: reliability layer on, nothing ever fails ---------------
   {
     pmx::Table table({"paradigm", "delivered", "goodput B/ns", "wire B/ns",
                       "retransmits"});
-    pmx::FaultParams fault;
-    fault.seed = seed;
-    fault.force_enable = true;
-    for (const auto kind : kKinds) {
-      const ScenarioResult r = run(kind, fault, nodes, workload);
-      table.add_row({pmx::to_string(kind), delivery_cell(r, messages),
+    for (std::size_t k = 0; k < kNumKinds; ++k) {
+      const ScenarioResult& r = scenario_result(0, k);
+      table.add_row({pmx::to_string(kKinds[k]), delivery_cell(r, messages),
                      pmx::Table::fmt(r.metrics.goodput, 4),
                      pmx::Table::fmt(r.metrics.wire_throughput, 4),
                      pmx::Table::fmt(r.metrics.retransmits)});
@@ -105,22 +142,19 @@ int main(int argc, char** argv) {
   }
 
   // --- Scenario 2: transient bit errors, increasing BER -------------------
-  for (const double ber : {1e-5, 1e-4, 5e-4}) {
+  for (std::size_t b = 0; b < bers.size(); ++b) {
     pmx::Table table({"paradigm", "delivered", "goodput B/ns", "wire B/ns",
                       "retransmits", "corrupt", "dup"});
-    pmx::FaultParams fault;
-    fault.seed = seed;
-    fault.ber = ber;
-    for (const auto kind : kKinds) {
-      const ScenarioResult r = run(kind, fault, nodes, workload);
-      table.add_row({pmx::to_string(kind), delivery_cell(r, messages),
+    for (std::size_t k = 0; k < kNumKinds; ++k) {
+      const ScenarioResult& r = scenario_result(1 + b, k);
+      table.add_row({pmx::to_string(kKinds[k]), delivery_cell(r, messages),
                      pmx::Table::fmt(r.metrics.goodput, 4),
                      pmx::Table::fmt(r.metrics.wire_throughput, 4),
                      pmx::Table::fmt(r.metrics.retransmits),
                      pmx::Table::fmt(r.metrics.crc_corruptions),
                      pmx::Table::fmt(r.metrics.duplicates)});
     }
-    std::cout << "\n== bit errors, BER " << ber << " ==\n";
+    std::cout << "\n== bit errors, BER " << bers[b] << " ==\n";
     table.print(std::cout);
   }
 
@@ -128,15 +162,10 @@ int main(int argc, char** argv) {
   {
     pmx::Table table({"paradigm", "delivered", "faults", "forced rel",
                       "recover mean ns", "recover max ns"});
-    pmx::FaultParams fault;
-    fault.seed = seed;
-    fault.link_mtbf = mtbf;
-    fault.link_repair = repair;
-    fault.max_link_faults = 16;
-    for (const auto kind : kKinds) {
-      const ScenarioResult r = run(kind, fault, nodes, workload);
+    for (std::size_t k = 0; k < kNumKinds; ++k) {
+      const ScenarioResult& r = scenario_result(1 + bers.size(), k);
       table.add_row(
-          {pmx::to_string(kind), delivery_cell(r, messages),
+          {pmx::to_string(kKinds[k]), delivery_cell(r, messages),
            pmx::Table::fmt(static_cast<std::uint64_t>(r.metrics.link_faults)),
            pmx::Table::fmt(
                static_cast<std::uint64_t>(r.metrics.forced_releases)),

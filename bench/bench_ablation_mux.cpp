@@ -3,7 +3,7 @@
 // patterns? (Section 2's tradeoff: K must cover the working set, but every
 // extra populated slot dilutes per-connection bandwidth.)
 //
-// Usage: bench_ablation_mux [--nodes N] [--bytes B]
+// Usage: bench_ablation_mux [--nodes N] [--bytes B] [--jobs J]
 
 #include <iostream>
 #include <vector>
@@ -11,6 +11,7 @@
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "traffic/patterns.hpp"
 
 int main(int argc, char** argv) {
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   const pmx::Config cfg = pmx::Config::from_cli(argc, argv);
   nodes = cfg.get_uint("nodes", nodes);
   bytes = cfg.get_uint("bytes", bytes);
+  const pmx::SweepOptions sweep{cfg.get_uint("jobs", 1)};
   cfg.fail_unread("bench_ablation_mux");
 
   struct NamedWorkload {
@@ -30,29 +32,42 @@ int main(int argc, char** argv) {
       {"all-to-all", pmx::patterns::all_to_all(nodes, bytes)},
       {"uniform", pmx::patterns::uniform_random(nodes, bytes, 8, 7)},
   };
+  const std::vector<std::size_t> degrees{1, 2, 4, 8, 16};
+  const std::vector<pmx::SwitchKind> kinds{pmx::SwitchKind::kDynamicTdm,
+                                           pmx::SwitchKind::kPreloadTdm};
+
+  const std::size_t per_workload = degrees.size() * kinds.size();
+  const std::vector<pmx::RunResult> results = pmx::run_sweep(
+      workloads.size() * per_workload,
+      [&](std::size_t i) {
+        pmx::RunConfig config;
+        config.params.num_nodes = nodes;
+        config.params.mux_degree =
+            degrees[(i % per_workload) / kinds.size()];
+        config.kind = kinds[i % kinds.size()];
+        config.multi_slot_connections = true;
+        return pmx::run_workload(config,
+                                 workloads[i / per_workload].workload);
+      },
+      sweep);
 
   std::cout << "Ablation A1: efficiency vs multiplexing degree K (" << nodes
             << " nodes, " << bytes << "-byte messages)\n";
-  for (const auto& [name, workload] : workloads) {
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
     pmx::Table table({"K", "dynamic-tdm", "preload-tdm"});
-    for (const std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    for (std::size_t d = 0; d < degrees.size(); ++d) {
       std::vector<std::string> row{pmx::Table::fmt(
-          static_cast<std::uint64_t>(k))};
-      for (const auto kind :
-           {pmx::SwitchKind::kDynamicTdm, pmx::SwitchKind::kPreloadTdm}) {
-        pmx::RunConfig config;
-        config.params.num_nodes = nodes;
-        config.params.mux_degree = k;
-        config.kind = kind;
-        config.multi_slot_connections = true;
-        const auto result = pmx::run_workload(config, workload);
+          static_cast<std::uint64_t>(degrees[d]))};
+      for (std::size_t k = 0; k < kinds.size(); ++k) {
+        const pmx::RunResult& result =
+            results[w * per_workload + d * kinds.size() + k];
         row.push_back(result.completed
                           ? pmx::Table::fmt(result.metrics.efficiency, 3)
                           : std::string("DNF"));
       }
       table.add_row(std::move(row));
     }
-    std::cout << "\n== " << name << " ==\n";
+    std::cout << "\n== " << workloads[w].name << " ==\n";
     table.print(std::cout);
   }
   return 0;

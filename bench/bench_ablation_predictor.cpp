@@ -3,7 +3,7 @@
 // at several horizons, the usage-counter predictor, and never-evict, on
 // workloads with different reuse behaviour.
 //
-// Usage: bench_ablation_predictor [--nodes N] [--bytes B]
+// Usage: bench_ablation_predictor [--nodes N] [--bytes B] [--jobs J]
 
 #include <iostream>
 #include <vector>
@@ -11,6 +11,7 @@
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "traffic/patterns.hpp"
 
 namespace {
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
   const pmx::Config cfg = pmx::Config::from_cli(argc, argv);
   nodes = cfg.get_uint("nodes", nodes);
   bytes = cfg.get_uint("bytes", bytes);
+  const pmx::SweepOptions sweep{cfg.get_uint("jobs", 1)};
   cfg.fail_unread("bench_ablation_predictor");
 
   const std::vector<PredictorSetup> predictors{
@@ -53,6 +55,27 @@ int main(int argc, char** argv) {
       {"two-phase", pmx::patterns::two_phase(nodes, bytes, 7)},
   };
 
+  const std::size_t per_predictor = workloads.size();
+  const std::vector<pmx::RunResult> results = pmx::run_sweep(
+      predictors.size() * per_predictor,
+      [&](std::size_t i) {
+        const PredictorSetup& p = predictors[i / per_predictor];
+        pmx::RunConfig config;
+        config.params.num_nodes = nodes;
+        config.kind = pmx::SwitchKind::kDynamicTdm;
+        config.predictor = p.kind;
+        if (p.timeout_ns > 0) {
+          config.predictor_timeout = pmx::TimeNs{p.timeout_ns};
+        }
+        if (p.threshold > 0) {
+          config.predictor_threshold = p.threshold;
+        }
+        config.multi_slot_connections = true;
+        return pmx::run_workload(config,
+                                 workloads[i % per_predictor].workload);
+      },
+      sweep);
+
   std::cout << "Ablation A3: eviction predictor policy (" << nodes
             << " nodes, " << bytes
             << "-byte messages, dynamic TDM K=4)\n\n";
@@ -61,21 +84,10 @@ int main(int argc, char** argv) {
     headers.push_back(name);
   }
   pmx::Table table(std::move(headers));
-  for (const auto& p : predictors) {
-    std::vector<std::string> row{p.label};
-    for (const auto& [name, workload] : workloads) {
-      pmx::RunConfig config;
-      config.params.num_nodes = nodes;
-      config.kind = pmx::SwitchKind::kDynamicTdm;
-      config.predictor = p.kind;
-      if (p.timeout_ns > 0) {
-        config.predictor_timeout = pmx::TimeNs{p.timeout_ns};
-      }
-      if (p.threshold > 0) {
-        config.predictor_threshold = p.threshold;
-      }
-      config.multi_slot_connections = true;
-      const auto result = pmx::run_workload(config, workload);
+  for (std::size_t p = 0; p < predictors.size(); ++p) {
+    std::vector<std::string> row{predictors[p].label};
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+      const pmx::RunResult& result = results[p * per_predictor + w];
       row.push_back(result.completed
                         ? pmx::Table::fmt(result.metrics.efficiency, 3)
                         : std::string("DNF"));

@@ -4,8 +4,12 @@
 // TDM (K=4).
 //
 // Usage: bench_fig4 [--nodes N] [--csv] [--timeout NS] [--multislot|
-//        --no-multislot] [--counter-predictor] [--no-predictor]
+//        --no-multislot] [--counter-predictor] [--no-predictor] [--jobs J]
 // Unknown options abort with exit status 2.
+//
+// Every (pattern, size, paradigm) point is an independent simulation, so
+// the sweep fans out across --jobs threads; results are assembled in index
+// order and the printed tables are byte-identical for any J.
 
 #include <iostream>
 #include <string>
@@ -14,6 +18,7 @@
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "traffic/patterns.hpp"
 
 namespace {
@@ -70,6 +75,7 @@ int main(int argc, char** argv) {
   if (cfg.get_bool("no-predictor", false)) {
     g_predictor = pmx::PredictorKind::kNone;
   }
+  const pmx::SweepOptions sweep{cfg.get_uint("jobs", 1)};
   cfg.fail_unread("bench_fig4");
 
   const std::vector<Pattern> patterns{
@@ -84,27 +90,41 @@ int main(int argc, char** argv) {
   const std::vector<std::uint64_t> sizes{8, 16, 32, 64, 128, 256, 512, 1024,
                                          2048};
 
+  // Flatten the (pattern, size, kind) cube into independent sweep points;
+  // every point rebuilds its workload from the index, so it is a pure
+  // function of i and the tables below come out identical for any --jobs.
+  const std::size_t per_pattern = sizes.size() * kinds.size();
+  const std::vector<pmx::RunResult> results = pmx::run_sweep(
+      patterns.size() * per_pattern,
+      [&](std::size_t i) {
+        const Pattern& pattern = patterns[i / per_pattern];
+        const std::uint64_t bytes = sizes[(i % per_pattern) / kinds.size()];
+        const SwitchKind kind = kinds[i % kinds.size()];
+        return pmx::run_workload(config_for(kind, nodes),
+                                 pattern.make(nodes, bytes));
+      },
+      sweep);
+
   std::cout << "Figure 4: bandwidth efficiency vs message size (" << nodes
             << " nodes, K=4)\n";
-  for (const auto& pattern : patterns) {
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
     std::vector<std::string> headers{"bytes"};
     for (const auto kind : kinds) {
       headers.push_back(pmx::to_string(kind));
     }
     pmx::Table table(std::move(headers));
-    for (const auto bytes : sizes) {
-      const Workload workload = pattern.make(nodes, bytes);
-      std::vector<std::string> row{pmx::Table::fmt(bytes)};
-      for (const auto kind : kinds) {
-        const auto result = pmx::run_workload(config_for(kind, nodes),
-                                              workload);
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+      std::vector<std::string> row{pmx::Table::fmt(sizes[s])};
+      for (std::size_t k = 0; k < kinds.size(); ++k) {
+        const pmx::RunResult& result =
+            results[p * per_pattern + s * kinds.size() + k];
         row.push_back(result.completed
                           ? pmx::Table::fmt(result.metrics.efficiency, 3)
                           : std::string("DNF"));
       }
       table.add_row(std::move(row));
     }
-    std::cout << "\n== " << pattern.name << " ==\n";
+    std::cout << "\n== " << patterns[p].name << " ==\n";
     if (csv) {
       table.print_csv(std::cout);
     } else {

@@ -7,7 +7,7 @@
 // node. d sweeps 50%..100%.
 //
 // Usage: bench_fig5 [--nodes N] [--bytes B] [--count C] [--csv]
-//        [--multislot] [--timeout NS]
+//        [--multislot] [--timeout NS] [--jobs J]
 // Unknown options abort with exit status 2.
 
 #include <iostream>
@@ -17,6 +17,7 @@
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "traffic/patterns.hpp"
 
 namespace {
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
   const bool csv = cfg.get_bool("csv", false);
   g_multi_slot = cfg.get_bool("multislot", g_multi_slot);
   g_timeout_ns = cfg.get_int("timeout", g_timeout_ns);
+  const pmx::SweepOptions sweep{cfg.get_uint("jobs", 1)};
   cfg.fail_unread("bench_fig5");
   constexpr std::size_t kFavored = 2;
   constexpr std::size_t kMuxDegree = 3;  // "A multiplexing degree of three"
@@ -52,18 +54,22 @@ int main(int argc, char** argv) {
             << " nodes, K=" << kMuxDegree << ", " << bytes
             << "-byte messages, " << count << " sends/node)\n\n";
 
-  pmx::Table table({"determinism", "0-preload/3-dynamic",
-                    "1-preload/2-dynamic", "2-preload/1-dynamic"});
   constexpr std::uint64_t kSeeds = 3;  // average to damp workload noise
+  // Flatten (determinism pct, pinned count, seed) into independent points.
+  std::vector<int> pcts;
   for (int pct = 50; pct <= 100; pct += 5) {
-    const double d = static_cast<double>(pct) / 100.0;
-    std::vector<std::string> row{std::to_string(pct) + "%"};
-    for (std::size_t k = 0; k <= 2; ++k) {
-      double sum = 0.0;
-      bool ok = true;
-      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    pcts.push_back(pct);
+  }
+  constexpr std::size_t kPinnedCounts = 3;  // k = 0, 1, 2 preloaded slots
+  const std::size_t per_pct = kPinnedCounts * kSeeds;
+  const std::vector<pmx::RunResult> results = pmx::run_sweep(
+      pcts.size() * per_pct,
+      [&](std::size_t i) {
+        const int pct = pcts[i / per_pct];
+        const std::size_t k = (i % per_pct) / kSeeds;
+        const std::uint64_t seed = i % kSeeds + 1;
         const pmx::Workload workload = pmx::patterns::determinism_mix(
-            nodes, bytes, d, count, kFavored,
+            nodes, bytes, static_cast<double>(pct) / 100.0, count, kFavored,
             seed * 1000 + static_cast<std::uint64_t>(pct));
         pmx::RunConfig config;
         config.params.num_nodes = nodes;
@@ -75,7 +81,20 @@ int main(int argc, char** argv) {
         for (std::size_t j = 0; j < k; ++j) {
           config.pinned_configs.push_back(favored_config(nodes, j, kFavored));
         }
-        const auto result = pmx::run_workload(config, workload);
+        return pmx::run_workload(config, workload);
+      },
+      sweep);
+
+  pmx::Table table({"determinism", "0-preload/3-dynamic",
+                    "1-preload/2-dynamic", "2-preload/1-dynamic"});
+  for (std::size_t p = 0; p < pcts.size(); ++p) {
+    std::vector<std::string> row{std::to_string(pcts[p]) + "%"};
+    for (std::size_t k = 0; k < kPinnedCounts; ++k) {
+      double sum = 0.0;
+      bool ok = true;
+      for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+        const pmx::RunResult& result =
+            results[p * per_pct + k * kSeeds + seed];
         ok = ok && result.completed;
         sum += result.metrics.efficiency;
       }

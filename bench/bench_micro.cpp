@@ -10,6 +10,7 @@
 #include "fabric/fattree.hpp"
 #include "fabric/omega.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "sched/presched.hpp"
 #include "sched/sl_array.hpp"
 #include "sched/tdm_scheduler.hpp"
@@ -85,6 +86,20 @@ void BM_SlArrayPass(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SlArrayPass)->Arg(32)->Arg(128)->Arg(512);
+
+// Same workload through the cell-by-cell reference oracle. The ratio
+// BM_SlArrayPassRef / BM_SlArrayPass is the word-parallel speedup tracked
+// in BENCH_micro.json.
+void BM_SlArrayPassRef(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const pmx::BitMatrix r = random_matrix(n, 0.1, 5);
+  const pmx::BitMatrix config = random_permutation_config(n, 0.5, 6);
+  const pmx::BitMatrix l = pmx::preschedule(r, config, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pmx::sl_array_pass_ref(l, config, 0, 0));
+  }
+}
+BENCHMARK(BM_SlArrayPassRef)->Arg(32)->Arg(128)->Arg(512);
 
 void BM_SchedulerFullPass(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -199,6 +214,31 @@ void BM_EndToEndRandomMesh(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndRandomMesh)->Arg(16)->Arg(64)->Unit(
+    benchmark::kMillisecond);
+
+// Sweep-runner scaling: 16 small independent end-to-end runs distributed
+// over Arg(0) worker threads. On a multi-core host the jobs=4 point should
+// approach 4x the jobs=1 rate; on a single core it measures pure overhead.
+void BM_SweepRunner(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kPoints = 16;
+  const pmx::SweepOptions options{jobs};
+  for (auto _ : state) {
+    const auto results = pmx::run_sweep(
+        kPoints,
+        [&](std::size_t i) {
+          const pmx::Workload workload =
+              pmx::patterns::random_mesh(32, 256, 1, 3 + i);
+          pmx::RunConfig config;
+          config.params.num_nodes = 32;
+          config.kind = pmx::SwitchKind::kDynamicTdm;
+          return pmx::run_workload(config, workload);
+        },
+        options);
+    benchmark::DoNotOptimize(results.size());
+  }
+}
+BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(2)->Arg(4)->Unit(
     benchmark::kMillisecond);
 
 }  // namespace

@@ -11,11 +11,13 @@
 
 #include <chrono>
 #include <iostream>
+#include <vector>
 
 #include "common/bitmatrix.hpp"
 #include "common/config.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "core/sweep.hpp"
 #include "sched/latency_model.hpp"
 #include "sched/presched.hpp"
 #include "sched/sl_array.hpp"
@@ -62,8 +64,12 @@ double sw_pass_us(std::size_t n) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Takes no options; any argument is therefore a mistake -- fail loudly.
-  pmx::Config::from_cli(argc, argv).fail_unread("bench_table3");
+  // --jobs parallelizes the software micro-timing points (the timing
+  // columns are wall-clock measurements, so absolute numbers can shift a
+  // little when points share cores; the model columns are exact either way).
+  const pmx::Config cfg = pmx::Config::from_cli(argc, argv);
+  const pmx::SweepOptions sweep{cfg.get_uint("jobs", 1)};
+  cfg.fail_unread("bench_table3");
   pmx::SchedulerLatencyModel model;
   std::cout << "Table 3: latency of the scheduling circuit\n"
             << "model: fpga(N) = " << pmx::Table::fmt(model.c0()) << " + "
@@ -71,21 +77,26 @@ int main(int argc, char** argv) {
             << pmx::Table::fmt(model.c2()) << "*N   (rms error "
             << pmx::Table::fmt(model.rms_error()) << " ns)\n\n";
 
+  std::vector<std::size_t> ns;
+  for (const auto& point : pmx::SchedulerLatencyModel::paper_table3()) {
+    ns.push_back(point.n);
+  }
+  ns.push_back(256);  // extrapolation beyond the paper's table
+  ns.push_back(512);
+  const std::vector<double> sw_us = pmx::sweep_map<double>(
+      ns.size(), [&](std::size_t i) { return sw_pass_us(ns[i]); }, sweep);
+
   pmx::Table table({"N", "paper FPGA (ns)", "model FPGA (ns)",
                     "model ASIC (ns)", "sw pass (us)"});
-  for (const auto& point : pmx::SchedulerLatencyModel::paper_table3()) {
-    table.add_row({pmx::Table::fmt(static_cast<std::uint64_t>(point.n)),
-                   pmx::Table::fmt(point.fpga_ns, 0),
-                   pmx::Table::fmt(model.fpga_ns(point.n), 1),
-                   pmx::Table::fmt(model.asic_ns(point.n), 1),
-                   pmx::Table::fmt(sw_pass_us(point.n), 2)});
-  }
-  // Extrapolation beyond the paper's table.
-  for (const std::size_t n : {256u, 512u}) {
-    table.add_row({pmx::Table::fmt(static_cast<std::uint64_t>(n)), "-",
+  const auto paper = pmx::SchedulerLatencyModel::paper_table3();
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const std::size_t n = ns[i];
+    table.add_row({pmx::Table::fmt(static_cast<std::uint64_t>(n)),
+                   i < paper.size() ? pmx::Table::fmt(paper[i].fpga_ns, 0)
+                                    : std::string("-"),
                    pmx::Table::fmt(model.fpga_ns(n), 1),
                    pmx::Table::fmt(model.asic_ns(n), 1),
-                   pmx::Table::fmt(sw_pass_us(n), 2)});
+                   pmx::Table::fmt(sw_us[i], 2)});
   }
   table.print(std::cout);
   std::cout << "\nsimulation uses asic(128) = "

@@ -15,6 +15,11 @@ void BitMatrix::set_row(std::size_t u, const BitVector& r) {
   rows_[u] = r;
 }
 
+void BitMatrix::row_xor(std::size_t u, const BitVector& r) {
+  PMX_CHECK(u < n_ && r.size() == n_, "BitMatrix::row_xor shape mismatch");
+  rows_[u] ^= r;
+}
+
 std::size_t BitMatrix::count() const {
   std::size_t total = 0;
   for (const auto& r : rows_) {

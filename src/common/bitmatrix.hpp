@@ -28,13 +28,14 @@ class BitMatrix {
   void set(std::size_t u, std::size_t v, bool value = true) {
     rows_[u].set(v, value);
   }
-  void toggle(std::size_t u, std::size_t v) {
-    rows_[u].set(v, !rows_[u].get(v));
-  }
+  void toggle(std::size_t u, std::size_t v) { rows_[u].flip(v); }
   void reset();
 
   [[nodiscard]] const BitVector& row(std::size_t u) const { return rows_[u]; }
   void set_row(std::size_t u, const BitVector& r);
+  /// XOR `r` into row u word-wise -- applies a whole row of an SL toggle
+  /// matrix in one bit-parallel pass.
+  void row_xor(std::size_t u, const BitVector& r);
 
   /// Number of set entries.
   [[nodiscard]] std::size_t count() const;

@@ -70,6 +70,46 @@ std::size_t BitVector::find_next_wrap(std::size_t from) const {
   return wrapped;  // size() when all zero
 }
 
+std::size_t BitVector::find_next_and_not(const BitVector& mask,
+                                         std::size_t from) const {
+  PMX_CHECK(size_ == mask.size_, "BitVector size mismatch in masked scan");
+  if (from >= size_) {
+    return size_;
+  }
+  std::size_t wi = from >> 6;
+  std::uint64_t w =
+      words_[wi] & ~mask.words_[wi] & (~std::uint64_t{0} << (from & 63));
+  while (true) {
+    if (w != 0) {
+      const std::size_t bit =
+          (wi << 6) + static_cast<std::size_t>(std::countr_zero(w));
+      return bit < size_ ? bit : size_;
+    }
+    if (++wi >= words_.size()) {
+      return size_;
+    }
+    w = words_[wi] & ~mask.words_[wi];
+  }
+}
+
+bool BitVector::intersects(const BitVector& rhs) const {
+  PMX_CHECK(size_ == rhs.size_, "BitVector size mismatch in intersects");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & rhs.words_[i]) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+BitVector& BitVector::and_not(const BitVector& rhs) {
+  PMX_CHECK(size_ == rhs.size_, "BitVector size mismatch in and_not");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= ~rhs.words_[i];
+  }
+  return *this;
+}
+
 BitVector& BitVector::operator|=(const BitVector& rhs) {
   PMX_CHECK(size_ == rhs.size_, "BitVector size mismatch in |=");
   for (std::size_t i = 0; i < words_.size(); ++i) {

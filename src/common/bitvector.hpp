@@ -1,5 +1,6 @@
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <span>
 #include <cstdint>
@@ -38,6 +39,13 @@ class BitVector {
     }
   }
   void clear(std::size_t i) { set(i, false); }
+  /// In-place toggle of bit i -- one XOR instead of the read-modify-write a
+  /// get()+set() pair would cost (the SL array applies toggle matrices on
+  /// every scheduling pass, so this is on the hot path).
+  void flip(std::size_t i) {
+    PMX_CHECK(i < size_, "BitVector index out of range");
+    words_[i >> 6] ^= std::uint64_t{1} << (i & 63);
+  }
   void reset();  ///< Clear all bits.
   void fill();   ///< Set all bits.
 
@@ -55,6 +63,32 @@ class BitVector {
   /// Index of the first set bit at or after `from`, wrapping around;
   /// size() when the vector is all zero. Used for round-robin scans.
   [[nodiscard]] std::size_t find_next_wrap(std::size_t from) const;
+
+  /// Masked scan: index of the first bit at position >= `from` that is set
+  /// here but clear in `mask`, or size(). Equivalent to
+  /// (*this & ~mask).find_next(from) without materializing the temporary --
+  /// this is the word-parallel SL array's "first requesting column whose
+  /// output port is free" lookup.
+  [[nodiscard]] std::size_t find_next_and_not(const BitVector& mask,
+                                              std::size_t from) const;
+
+  /// True when (*this & rhs) has at least one set bit, computed word-wise
+  /// with early exit.
+  [[nodiscard]] bool intersects(const BitVector& rhs) const;
+
+  /// In-place AND with the complement of rhs (this &= ~rhs).
+  BitVector& and_not(const BitVector& rhs);
+
+  /// Invoke fn(index) for every set bit in increasing index order, scanning
+  /// whole zero words at a time.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      for (std::uint64_t bits = words_[wi]; bits != 0; bits &= bits - 1) {
+        fn((wi << 6) + static_cast<std::size_t>(std::countr_zero(bits)));
+      }
+    }
+  }
 
   BitVector& operator|=(const BitVector& rhs);
   BitVector& operator&=(const BitVector& rhs);

@@ -1,8 +1,15 @@
 #include "common/log.hpp"
 
 #include <iostream>
+#include <mutex>
 
 namespace pmx {
+
+namespace {
+// Diagnostics may now fire from sweep worker threads; serialize the sink so
+// interleaved messages stay whole lines.
+std::mutex g_write_mutex;
+}  // namespace
 
 Logger& Logger::instance() {
   static Logger logger;
@@ -15,6 +22,7 @@ void Logger::write(LogLevel level, const std::string& message) {
   if (!enabled(level)) {
     return;
   }
+  const std::lock_guard<std::mutex> lock(g_write_mutex);
   std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;
   out << "[" << to_string(level) << "] " << message << "\n";
   ++written_;

@@ -13,8 +13,10 @@ enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
 ///
 /// Simulation output must stay machine-parseable (the bench harnesses print
 /// tables), so diagnostics go to a single global sink (stderr by default)
-/// behind a level gate that defaults to warnings-and-up. Not thread-safe by
-/// design: the simulator is single-threaded and deterministic.
+/// behind a level gate that defaults to warnings-and-up. Each simulation is
+/// single-threaded, but the sweep runner executes independent simulations on
+/// worker threads, so write() serializes emission; configuration
+/// (set_level/set_sink) must still happen before workers start.
 class Logger {
  public:
   static Logger& instance();

@@ -1,0 +1,75 @@
+#include "core/sweep.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace pmx {
+
+std::size_t resolve_jobs(std::size_t requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+namespace detail {
+
+void run_indexed(std::size_t count, std::size_t jobs,
+                 const std::function<void(std::size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  if (jobs <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        return;
+      }
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const std::size_t workers = jobs < count ? jobs : count;
+  pool.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) {
+    pool.emplace_back(worker);
+  }
+  worker();  // the calling thread pulls its share instead of idling
+  for (auto& thread : pool) {
+    thread.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace detail
+
+std::vector<RunResult> run_sweep(
+    std::size_t count, const std::function<RunResult(std::size_t)>& point,
+    const SweepOptions& options) {
+  return sweep_map<RunResult>(count, point, options);
+}
+
+}  // namespace pmx

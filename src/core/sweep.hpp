@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace pmx {
+
+/// Options for a parallel parameter sweep.
+struct SweepOptions {
+  /// Worker threads. 0 means "use the hardware concurrency"; 1 (the
+  /// default) runs every point inline on the calling thread.
+  std::size_t jobs = 1;
+};
+
+/// Resolve a --jobs value: 0 -> std::thread::hardware_concurrency (at least
+/// 1), anything else unchanged.
+[[nodiscard]] std::size_t resolve_jobs(std::size_t requested);
+
+namespace detail {
+/// Execute body(0), ..., body(count-1), each exactly once, on `jobs`
+/// threads. Indices are handed out from an atomic counter; with jobs <= 1
+/// the calling thread runs everything inline. The first exception thrown by
+/// any body is rethrown on the calling thread after all workers join.
+void run_indexed(std::size_t count, std::size_t jobs,
+                 const std::function<void(std::size_t)>& body);
+}  // namespace detail
+
+/// Run `count` independent sweep points and collect the results in index
+/// order.
+///
+/// Determinism contract: `point(i)` must be a pure function of its index --
+/// construct the RunConfig and Workload (and any Rng, seeded from i) inside
+/// the callback, and do not touch shared mutable state. Each simulation
+/// point already runs on its own Simulator instance, so points never share
+/// state through the core library. Under that contract the returned vector
+/// -- and therefore any output formatted from it -- is byte-identical
+/// regardless of options.jobs.
+template <typename R>
+[[nodiscard]] std::vector<R> sweep_map(
+    std::size_t count, const std::function<R(std::size_t)>& point,
+    const SweepOptions& options = {}) {
+  std::vector<R> results(count);
+  detail::run_indexed(count, resolve_jobs(options.jobs),
+                      [&](std::size_t i) { results[i] = point(i); });
+  return results;
+}
+
+/// The common case: one simulated run per point.
+[[nodiscard]] std::vector<RunResult> run_sweep(
+    std::size_t count, const std::function<RunResult(std::size_t)>& point,
+    const SweepOptions& options = {});
+
+}  // namespace pmx

@@ -48,8 +48,37 @@ struct SlPassResult {
 /// at b, mirroring the priority-rotation scheme of Section 4: the wavefront
 /// start (a,b) determines which requests see free ports first. AO/AI are
 /// derived internally from the slot configuration (column/row ORs).
+///
+/// This is the word-parallel implementation (it calls sl_array_pass_fast
+/// below); sl_array_pass_ref is the gate-accurate cell-by-cell oracle the
+/// differential tests compare against. Both produce bit-identical
+/// SlPassResults for any `slot_config` that is a partial permutation.
 [[nodiscard]] SlPassResult sl_array_pass(const BitMatrix& l,
                                          const BitMatrix& slot_config,
                                          std::size_t a, std::size_t b);
+
+/// Reference oracle: evaluates every SL cell of Figure 3 one at a time,
+/// exactly as the hardware wavefront would. O(N^2) sl_cell evaluations --
+/// kept for differential testing and as executable documentation of Table 2.
+[[nodiscard]] SlPassResult sl_array_pass_ref(const BitMatrix& l,
+                                             const BitMatrix& slot_config,
+                                             std::size_t a, std::size_t b);
+
+/// Word-parallel pass with precomputed port-occupancy vectors:
+/// `ai` must equal slot_config.row_or() (input-port occupancy AI) and
+/// `ao` must equal slot_config.col_or() (output-port occupancy AO).
+/// The TDM scheduler maintains these incrementally across passes, so the
+/// O(N^2/64) reduction is not repaid on every SL clock.
+///
+/// Instead of evaluating N cells per row, each requesting row is resolved
+/// with word operations: pass-through rows are skipped wholesale, a row
+/// whose input port stays busy is popcount-blocked in one step, and the
+/// winning establish column is found by a masked find-first-set scan over
+/// the request word ANDed with the complement of the occupancy vector.
+[[nodiscard]] SlPassResult sl_array_pass_fast(const BitMatrix& l,
+                                              const BitMatrix& slot_config,
+                                              const BitVector& ai,
+                                              const BitVector& ao,
+                                              std::size_t a, std::size_t b);
 
 }  // namespace pmx

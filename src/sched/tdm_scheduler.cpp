@@ -6,21 +6,6 @@
 
 namespace pmx {
 
-namespace {
-
-/// Flip every entry of `config` flagged in `toggles`.
-void apply_toggles(BitMatrix& config, const BitMatrix& toggles) {
-  const std::size_t n = config.size();
-  for (std::size_t u = 0; u < n; ++u) {
-    const BitVector& row = toggles.row(u);
-    for (std::size_t v = row.find_first(); v < n; v = row.find_next(v + 1)) {
-      config.toggle(u, v);
-    }
-  }
-}
-
-}  // namespace
-
 TdmScheduler::TdmScheduler(const Options& options)
     : n_(options.num_ports),
       k_(options.num_slots),
@@ -33,6 +18,8 @@ TdmScheduler::TdmScheduler(const Options& options)
       up_cols_(n_, true),
       usable_(n_),
       slots_(k_, BitMatrix(n_)),
+      slot_ai_(k_, BitVector(n_)),
+      slot_ao_(k_, BitVector(n_)),
       pinned_(k_, false),
       b_star_(n_),
       zero_(n_),
@@ -57,6 +44,28 @@ void TdmScheduler::mark_all_dirty() {
   std::fill(slot_clean_.begin(), slot_clean_.end(), false);
 }
 
+void TdmScheduler::apply_toggles(std::size_t s, const BitMatrix& toggles) {
+  BitMatrix& config = slots_[s];
+  BitVector col_flip(n_);
+  for (std::size_t u = 0; u < n_; ++u) {
+    const BitVector& row = toggles.row(u);
+    if (row.none()) {
+      continue;
+    }
+    config.row_xor(u, row);
+    col_flip ^= row;
+    if (row.count() % 2 == 1) {
+      slot_ai_[s].flip(u);
+    }
+  }
+  slot_ao_[s] ^= col_flip;
+}
+
+void TdmScheduler::rebuild_slot_occupancy(std::size_t s) {
+  slot_ai_[s] = slots_[s].row_or();
+  slot_ao_[s] = slots_[s].col_or();
+}
+
 void TdmScheduler::preload(std::size_t slot, const BitMatrix& config,
                            bool pinned) {
   PMX_CHECK(slot < k_, "preload slot out of range");
@@ -65,6 +74,7 @@ void TdmScheduler::preload(std::size_t slot, const BitMatrix& config,
             "preloaded configuration must be a partial permutation");
   slots_[slot] = config;
   pinned_[slot] = pinned;
+  rebuild_slot_occupancy(slot);
   rebuild_b_star();
   mark_all_dirty();
 }
@@ -72,6 +82,8 @@ void TdmScheduler::preload(std::size_t slot, const BitMatrix& config,
 void TdmScheduler::unload(std::size_t slot) {
   PMX_CHECK(slot < k_, "unload slot out of range");
   slots_[slot].reset();
+  slot_ai_[slot].reset();
+  slot_ao_[slot].reset();
   pinned_[slot] = false;
   rebuild_b_star();
   mark_all_dirty();
@@ -89,6 +101,8 @@ void TdmScheduler::flush_dynamic() {
   for (std::size_t s = 0; s < k_; ++s) {
     if (!pinned_[s]) {
       slots_[s].reset();
+      slot_ai_[s].reset();
+      slot_ao_[s].reset();
     }
   }
   holds_.reset();
@@ -124,9 +138,13 @@ void TdmScheduler::force_clear(
     std::size_t u, std::size_t v,
     std::vector<std::pair<std::size_t, std::size_t>>* released) {
   bool was_established = false;
-  for (auto& slot : slots_) {
-    if (slot.get(u, v)) {
-      slot.set(u, v, false);
+  for (std::size_t s = 0; s < k_; ++s) {
+    if (slots_[s].get(u, v)) {
+      slots_[s].set(u, v, false);
+      // Partial permutation: (u, v) was the only connection on either port
+      // in this slot, so clearing it frees both occupancy bits.
+      slot_ai_[s].clear(u);
+      slot_ao_[s].clear(v);
       was_established = true;
     }
   }
@@ -214,8 +232,9 @@ TdmScheduler::PassResult TdmScheduler::run_pass() {
 
   bool touched = false;
   if (l.any()) {
-    const SlPassResult pass = sl_array_pass(l, slots_[s], origin, origin);
-    apply_toggles(slots_[s], pass.toggles);
+    const SlPassResult pass = sl_array_pass_fast(
+        l, slots_[s], slot_ai_[s], slot_ao_[s], origin, origin);
+    apply_toggles(s, pass.toggles);
     result.establishes = pass.establishes;
     result.releases = pass.releases;
     result.blocked = pass.blocked;
@@ -229,14 +248,13 @@ TdmScheduler::PassResult TdmScheduler::run_pass() {
     l2 &= b_star_;
     for (std::size_t u = 0; u < n_; ++u) {
       BitVector row = l2.row(u);
-      BitVector not_slot = slots_[s].row(u);
-      not_slot ^= BitVector(n_, true);
-      row &= not_slot;
+      row.and_not(slots_[s].row(u));
       l2.set_row(u, row);
     }
     if (l2.any()) {
-      const SlPassResult dup = sl_array_pass(l2, slots_[s], origin, origin);
-      apply_toggles(slots_[s], dup.toggles);
+      const SlPassResult dup = sl_array_pass_fast(
+          l2, slots_[s], slot_ai_[s], slot_ao_[s], origin, origin);
+      apply_toggles(s, dup.toggles);
       result.establishes += dup.establishes;
       touched = touched || dup.toggles.any();
       PMX_CHECK(dup.releases == 0, "duplication pass cannot release");

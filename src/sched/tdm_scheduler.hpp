@@ -181,6 +181,14 @@ class TdmScheduler {
 
  private:
   void rebuild_b_star();
+  /// Flip the toggled entries of slot `s` word-wise and update its cached
+  /// AI/AO occupancy vectors incrementally (XOR parity: in a partial
+  /// permutation every row/column holds 0 or 1 connections, so a row or
+  /// column is occupied after the pass iff its occupancy XOR'd with the
+  /// parity of its toggle count is 1).
+  void apply_toggles(std::size_t s, const BitMatrix& toggles);
+  /// Recompute slot `s`'s cached AI/AO from scratch (preload/unload paths).
+  void rebuild_slot_occupancy(std::size_t s);
   [[nodiscard]] std::optional<std::size_t> next_unpinned_slot();
   /// Effective request matrix for a scheduling pass: (R | holds) with dead
   /// ports and stuck cells masked out.
@@ -204,6 +212,11 @@ class TdmScheduler {
   bool any_fault_ = false;
   bool any_stuck_ = false;
   std::vector<BitMatrix> slots_;
+  /// Cached per-slot occupancy reductions, maintained incrementally:
+  /// slot_ai_[s] == slots_[s].row_or() and slot_ao_[s] == slots_[s].col_or()
+  /// at all times. Seeds every SL pass without an O(N^2/64) recomputation.
+  std::vector<BitVector> slot_ai_;
+  std::vector<BitVector> slot_ao_;
   std::vector<bool> pinned_;
   BitMatrix b_star_;
   BitMatrix zero_;

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -8,16 +9,44 @@ namespace pmx {
 
 EventId EventQueue::push(TimeNs t, EventFn fn) {
   const EventId id = next_id_++;
-  heap_.push(Entry{t, id});
-  fns_.emplace(id, std::move(fn));
+  heap_.push_back(Entry{t, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   return id;
 }
 
-void EventQueue::cancel(EventId id) { fns_.erase(id); }
+void EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) {
+    return;  // never issued: nothing to tombstone
+  }
+  cancelled_.insert(id);
+  purge_stale_tombstones();
+}
+
+void EventQueue::purge_stale_tombstones() {
+  // A tombstone for an id that already fired matches no heap entry and
+  // would linger forever. The set is normally tiny; if it ever outgrows the
+  // live heap, one linear sweep drops every id no pending entry carries.
+  if (cancelled_.size() <= 64 || cancelled_.size() <= heap_.size()) {
+    return;
+  }
+  std::unordered_set<EventId> live;
+  for (const Entry& e : heap_) {
+    if (cancelled_.contains(e.id)) {
+      live.insert(e.id);
+    }
+  }
+  cancelled_ = std::move(live);
+}
 
 void EventQueue::drop_cancelled() {
-  while (!heap_.empty() && !fns_.contains(heap_.top().id)) {
-    heap_.pop();
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
@@ -29,17 +58,15 @@ bool EventQueue::empty() {
 TimeNs EventQueue::next_time() {
   drop_cancelled();
   PMX_CHECK(!heap_.empty(), "next_time on empty EventQueue");
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   drop_cancelled();
   PMX_CHECK(!heap_.empty(), "pop on empty EventQueue");
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = fns_.find(top.id);
-  Fired fired{top.time, std::move(it->second)};
-  fns_.erase(it);
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Fired fired{heap_.back().time, std::move(heap_.back().fn)};
+  heap_.pop_back();
   return fired;
 }
 

@@ -2,8 +2,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/time.hpp"
@@ -16,6 +15,11 @@ using EventId = std::uint64_t;
 /// Time-ordered event queue with stable FIFO ordering of simultaneous events
 /// (ties broken by insertion sequence, so simulations are deterministic) and
 /// lazy cancellation.
+///
+/// Callbacks live inline in the heap entries: the common push/pop path costs
+/// one heap sift each way and never touches a hash table. Cancellation stays
+/// lazy -- cancel() records the id in a (normally empty) tombstone set, and
+/// the entry is dropped when it reaches the top of the heap.
 class EventQueue {
  public:
   /// Enqueue `fn` to run at absolute time `t`. Returns a handle usable with
@@ -47,19 +51,28 @@ class EventQueue {
   struct Entry {
     TimeNs time;
     EventId id;
-    // std::priority_queue is a max-heap; invert so earlier (time, id) wins.
-    bool operator<(const Entry& rhs) const {
-      if (time != rhs.time) {
-        return time > rhs.time;
+    EventFn fn;
+  };
+  // std::push_heap/pop_heap build a max-heap; invert so the earliest
+  // (time, id) pair surfaces first.
+  struct Later {
+    bool operator()(const Entry& lhs, const Entry& rhs) const {
+      if (lhs.time != rhs.time) {
+        return lhs.time > rhs.time;
       }
-      return id > rhs.id;
+      return lhs.id > rhs.id;
     }
   };
 
   void drop_cancelled();
+  void purge_stale_tombstones();
 
-  std::priority_queue<Entry> heap_;
-  std::unordered_map<EventId, EventFn> fns_;
+  std::vector<Entry> heap_;
+  /// Ids cancelled while (possibly) still pending. Kept small: a tombstone
+  /// is erased when its entry surfaces, and ids that were cancelled after
+  /// firing (which no entry will ever match) are swept out whenever the set
+  /// outgrows the heap.
+  std::unordered_set<EventId> cancelled_;
   EventId next_id_ = 1;
 };
 

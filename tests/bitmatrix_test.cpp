@@ -25,6 +25,20 @@ TEST(BitMatrix, SetGetToggle) {
   EXPECT_TRUE(m.get(3, 3));
 }
 
+TEST(BitMatrix, RowXorFlipsMaskedBits) {
+  BitMatrix m(70);
+  m.set(3, 0);
+  m.set(3, 69);
+  BitVector r(70);
+  r.set(0);   // clears an existing bit
+  r.set(64);  // sets a fresh bit in the second word
+  m.row_xor(3, r);
+  EXPECT_FALSE(m.get(3, 0));
+  EXPECT_TRUE(m.get(3, 64));
+  EXPECT_TRUE(m.get(3, 69));
+  EXPECT_EQ(m.row(3).count(), 2u);
+}
+
 TEST(BitMatrix, RowColAny) {
   BitMatrix m(6);
   m.set(2, 5);

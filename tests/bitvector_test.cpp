@@ -124,6 +124,79 @@ TEST(BitVector, ToString) {
   EXPECT_EQ(v.to_string(), "01001");
 }
 
+TEST(BitVector, FlipTogglesAcrossWordBoundaries) {
+  BitVector v(130);
+  for (const std::size_t i : {0u, 63u, 64u, 127u, 128u, 129u}) {
+    v.flip(i);
+    EXPECT_TRUE(v.get(i)) << i;
+    v.flip(i);
+    EXPECT_FALSE(v.get(i)) << i;
+  }
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVector, AndNotClearsMaskedBits) {
+  BitVector a(130);
+  BitVector b(130);
+  a.set(1);
+  a.set(64);
+  a.set(129);
+  b.set(64);
+  b.set(100);  // clearing an unset bit is a no-op
+  a.and_not(b);
+  EXPECT_TRUE(a.get(1));
+  EXPECT_FALSE(a.get(64));
+  EXPECT_TRUE(a.get(129));
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(BitVector, Intersects) {
+  BitVector a(200);
+  BitVector b(200);
+  EXPECT_FALSE(a.intersects(b));
+  a.set(70);
+  b.set(71);
+  EXPECT_FALSE(a.intersects(b));
+  b.set(70);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+  // Overlap only in the final partial word.
+  BitVector c(200);
+  BitVector d(200);
+  c.set(199);
+  d.set(199);
+  EXPECT_TRUE(c.intersects(d));
+}
+
+TEST(BitVector, FindNextAndNot) {
+  BitVector v(200);
+  BitVector mask(200);
+  v.set(10);
+  v.set(64);
+  v.set(199);
+  mask.set(10);
+  mask.set(199);
+  EXPECT_EQ(v.find_next_and_not(mask, 0), 64u);   // 10 is masked
+  EXPECT_EQ(v.find_next_and_not(mask, 64), 64u);  // from is inclusive
+  EXPECT_EQ(v.find_next_and_not(mask, 65), 200u);  // 199 is masked
+  mask.clear(10);
+  EXPECT_EQ(v.find_next_and_not(mask, 0), 10u);
+  EXPECT_EQ(v.find_next_and_not(mask, 200), 200u);  // from == size()
+  BitVector empty_mask(200);
+  EXPECT_EQ(v.find_next_and_not(empty_mask, 11), 64u);
+}
+
+TEST(BitVector, ForEachSetVisitsSetBitsInOrder) {
+  BitVector v(150);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(149);
+  std::vector<std::size_t> visited;
+  v.for_each_set([&](std::size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, (std::vector<std::size_t>{0, 63, 64, 149}));
+}
+
 // Property: count() equals the number of get()==true positions for random
 // contents at awkward sizes around word boundaries.
 class BitVectorPropertyTest : public ::testing::TestWithParam<std::size_t> {};
@@ -160,6 +233,36 @@ TEST_P(BitVectorPropertyTest, FindIterationVisitsExactlySetBits) {
     visited.push_back(i);
   }
   EXPECT_EQ(visited, expected);
+}
+
+TEST_P(BitVectorPropertyTest, ForEachSetMatchesFindIteration) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 31337 + 5);
+  BitVector v(n);
+  BitVector mask(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(0.25)) {
+      v.set(i);
+    }
+    if (rng.chance(0.5)) {
+      mask.set(i);
+    }
+  }
+  std::vector<std::size_t> via_find;
+  for (std::size_t i = v.find_first(); i < n; i = v.find_next(i + 1)) {
+    via_find.push_back(i);
+  }
+  std::vector<std::size_t> via_for_each;
+  v.for_each_set([&](std::size_t i) { via_for_each.push_back(i); });
+  EXPECT_EQ(via_for_each, via_find);
+
+  // find_next_and_not agrees with the materialized equivalent at every
+  // starting offset.
+  const BitVector expected = v & (BitVector(n, true) ^ mask);
+  for (std::size_t from = 0; from <= n; ++from) {
+    EXPECT_EQ(v.find_next_and_not(mask, from), expected.find_next(from))
+        << "from=" << from;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorPropertyTest,

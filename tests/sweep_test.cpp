@@ -1,0 +1,114 @@
+// The parallel sweep runner's contract: every index runs exactly once,
+// results come back in index order, and the output is identical for any
+// jobs count (the property the --jobs flag on the bench harnesses relies
+// on for byte-identical tables).
+
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "traffic/patterns.hpp"
+
+namespace pmx {
+namespace {
+
+TEST(Sweep, ResolveJobs) {
+  EXPECT_GE(resolve_jobs(0), 1u);  // 0 = hardware concurrency, at least 1
+  EXPECT_EQ(resolve_jobs(1), 1u);
+  EXPECT_EQ(resolve_jobs(7), 7u);
+}
+
+TEST(Sweep, EmptySweepReturnsEmpty) {
+  const auto r = sweep_map<int>(0, [](std::size_t) { return 1; });
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Sweep, ResultsAreInIndexOrder) {
+  for (const std::size_t jobs : {1u, 2u, 4u, 16u}) {
+    const SweepOptions options{jobs};
+    const auto r = sweep_map<std::size_t>(
+        100, [](std::size_t i) { return i * i + 1; }, options);
+    ASSERT_EQ(r.size(), 100u);
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      EXPECT_EQ(r[i], i * i + 1) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(Sweep, EveryIndexRunsExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  const SweepOptions options{4};
+  const auto r = sweep_map<int>(
+      hits.size(),
+      [&](std::size_t i) {
+        hits[i].fetch_add(1);
+        return 0;
+      },
+      options);
+  ASSERT_EQ(r.size(), hits.size());
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Sweep, MoreJobsThanPointsIsFine) {
+  const SweepOptions options{32};
+  const auto r =
+      sweep_map<std::size_t>(3, [](std::size_t i) { return i; }, options);
+  EXPECT_EQ(r, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Sweep, ExceptionPropagatesToCaller) {
+  for (const std::size_t jobs : {1u, 4u}) {
+    const SweepOptions options{jobs};
+    EXPECT_THROW(sweep_map<int>(
+                     16,
+                     [](std::size_t i) -> int {
+                       if (i == 7) {
+                         throw std::runtime_error("boom");
+                       }
+                       return 0;
+                     },
+                     options),
+                 std::runtime_error)
+        << "jobs=" << jobs;
+  }
+}
+
+// End-to-end determinism: the same simulation sweep produces identical
+// metrics whether it runs inline or across worker threads. This is the
+// test-level counterpart of diffing `bench_fig4 --jobs 1` against
+// `--jobs N`.
+TEST(Sweep, SimulationSweepIsDeterministicAcrossJobCounts) {
+  constexpr std::size_t kPoints = 8;
+  const auto point = [](std::size_t i) {
+    const Workload workload = patterns::random_mesh(16, 128, 1, 11 + i);
+    RunConfig config;
+    config.params.num_nodes = 16;
+    config.kind =
+        (i % 2 == 0) ? SwitchKind::kDynamicTdm : SwitchKind::kPreloadTdm;
+    return run_workload(config, workload);
+  };
+  const std::vector<RunResult> serial =
+      run_sweep(kPoints, point, SweepOptions{1});
+  const std::vector<RunResult> parallel =
+      run_sweep(kPoints, point, SweepOptions{4});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    EXPECT_EQ(serial[i].completed, parallel[i].completed) << i;
+    EXPECT_EQ(serial[i].sim_events, parallel[i].sim_events) << i;
+    EXPECT_EQ(serial[i].metrics.efficiency, parallel[i].metrics.efficiency)
+        << i;
+    EXPECT_EQ(serial[i].metrics.messages, parallel[i].metrics.messages) << i;
+    EXPECT_EQ(serial[i].counters, parallel[i].counters) << i;
+  }
+}
+
+}  // namespace
+}  // namespace pmx
