@@ -16,7 +16,10 @@ Logger& Logger::instance() {
   return logger;
 }
 
-void Logger::set_sink(std::ostream* sink) { sink_ = sink; }
+void Logger::set_sink(std::ostream* sink) {
+  const std::lock_guard<std::mutex> lock(g_write_mutex);
+  sink_ = sink;
+}
 
 void Logger::write(LogLevel level, const std::string& message) {
   if (!enabled(level)) {
@@ -25,7 +28,7 @@ void Logger::write(LogLevel level, const std::string& message) {
   const std::lock_guard<std::mutex> lock(g_write_mutex);
   std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;
   out << "[" << to_string(level) << "] " << message << "\n";
-  ++written_;
+  written_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::string to_string(LogLevel level) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <sstream>
@@ -15,28 +16,38 @@ enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
 /// tables), so diagnostics go to a single global sink (stderr by default)
 /// behind a level gate that defaults to warnings-and-up. Each simulation is
 /// single-threaded, but the sweep runner executes independent simulations on
-/// worker threads, so write() serializes emission; configuration
-/// (set_level/set_sink) must still happen before workers start.
+/// worker threads, so write() serializes emission and the level gate and
+/// message counter are atomics (TSan tier, DESIGN.md §9). The sink pointer
+/// is mutex-guarded alongside emission; redirecting it mid-sweep is safe,
+/// though tests normally do so before workers start.
 class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
-  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level >= level_.load(std::memory_order_relaxed);
+  }
 
   /// Redirect output (tests capture it); pass nullptr to restore stderr.
   void set_sink(std::ostream* sink);
 
   void write(LogLevel level, const std::string& message);
 
-  [[nodiscard]] std::uint64_t messages_written() const { return written_; }
+  [[nodiscard]] std::uint64_t messages_written() const {
+    return written_.load(std::memory_order_relaxed);
+  }
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
-  std::ostream* sink_ = nullptr;
-  std::uint64_t written_ = 0;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::ostream* sink_ = nullptr;  ///< guarded by the emission mutex
+  std::atomic<std::uint64_t> written_{0};
 };
 
 [[nodiscard]] std::string to_string(LogLevel level);

@@ -18,7 +18,10 @@ class Rng {
  public:
   using result_type = std::uint64_t;
 
-  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+  /// Seeds are always explicit: every engine must trace back to a Config /
+  /// params seed so runs are reproducible from their recorded inputs alone.
+  /// (A silent default seed would let unseeded engines hide in new code.)
+  explicit Rng(std::uint64_t seed);
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~result_type{0}; }

@@ -124,7 +124,9 @@ RunResult run_workload(const RunConfig& config, const Workload& workload) {
   result.completed = driver.finished();
   result.sim_events = sim.events_processed();
   result.metrics = compute_metrics(workload, *network);
-  for (const auto& [name, value] : network->counters().all()) {
+  const auto& counters = network->counters().all();
+  result.counters.reserve(counters.size());
+  for (const auto& [name, value] : counters) {
     result.counters.emplace_back(name, value);
   }
   return result;

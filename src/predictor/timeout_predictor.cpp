@@ -1,9 +1,24 @@
 #include "predictor/timeout_predictor.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "predictor/predictor.hpp"
 
 namespace pmx {
+
+namespace {
+
+// Eviction order feeds scheduler unhold calls and the eviction counter, so
+// it must not depend on unordered_map bucket order (which varies across
+// standard-library implementations). Normalize to (src, dst) order.
+void sort_evictions(std::vector<Conn>& evict) {
+  std::sort(evict.begin(), evict.end(), [](const Conn& a, const Conn& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+}
+
+}  // namespace
 
 std::unique_ptr<Predictor> make_no_predictor() {
   return std::make_unique<NoPredictor>();
@@ -31,7 +46,10 @@ void TimeoutPredictor::on_release(const Conn& c, TimeNs) {
 
 std::vector<Conn> TimeoutPredictor::collect_evictions(TimeNs now) {
   std::vector<Conn> evict;
-  for (auto it = last_use_.begin(); it != last_use_.end();) {
+  // Visit order is irrelevant: membership is decided per entry and the
+  // result is sorted below.
+  auto it = last_use_.begin();  // pmx-lint: allow(unordered-iter)
+  while (it != last_use_.end()) {
     if (now - it->second >= timeout_) {
       evict.push_back(it->first);
       it = last_use_.erase(it);
@@ -39,6 +57,7 @@ std::vector<Conn> TimeoutPredictor::collect_evictions(TimeNs now) {
       ++it;
     }
   }
+  sort_evictions(evict);
   return evict;
 }
 
@@ -64,7 +83,10 @@ void CounterPredictor::on_release(const Conn& c, TimeNs) {
 
 std::vector<Conn> CounterPredictor::collect_evictions(TimeNs) {
   std::vector<Conn> evict;
-  for (auto it = last_use_epoch_.begin(); it != last_use_epoch_.end();) {
+  // Visit order is irrelevant: membership is decided per entry and the
+  // result is sorted below.
+  auto it = last_use_epoch_.begin();  // pmx-lint: allow(unordered-iter)
+  while (it != last_use_epoch_.end()) {
     if (epoch_ - it->second >= threshold_) {
       evict.push_back(it->first);
       it = last_use_epoch_.erase(it);
@@ -72,6 +94,7 @@ std::vector<Conn> CounterPredictor::collect_evictions(TimeNs) {
       ++it;
     }
   }
+  sort_evictions(evict);
   return evict;
 }
 

@@ -20,7 +20,8 @@ void WorkingSetTracker::roll_if_needed(TimeNs now) {
     if (!current_.empty()) {
       if (!previous_.empty()) {
         std::size_t common = 0;
-        for (const auto k : current_) {
+        // Commutative membership count; visit order cannot leak.
+        for (const auto k : current_) {  // pmx-lint: allow(unordered-iter)
           common += previous_.contains(k) ? 1u : 0u;
         }
         const std::size_t unions =
@@ -46,7 +47,8 @@ void WorkingSetTracker::observe(const Conn& c, TimeNs now) {
 
 std::size_t WorkingSetTracker::size() const {
   std::size_t count = current_.size();
-  for (const auto k : previous_) {
+  // Commutative union count; visit order cannot leak.
+  for (const auto k : previous_) {  // pmx-lint: allow(unordered-iter)
     count += current_.contains(k) ? 0u : 1u;
   }
   return count;
@@ -58,7 +60,8 @@ std::size_t WorkingSetTracker::degree(std::size_t num_nodes) const {
   std::size_t degree = 0;
   const auto accumulate = [&](const std::unordered_set<std::uint64_t>& set,
                               const std::unordered_set<std::uint64_t>* skip) {
-    for (const auto k : set) {
+    // Max over per-node increment totals is order-independent.
+    for (const auto k : set) {  // pmx-lint: allow(unordered-iter)
       if (skip != nullptr && skip->contains(k)) {
         continue;
       }

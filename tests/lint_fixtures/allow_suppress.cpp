@@ -1,0 +1,9 @@
+// Fixture: the allow() escape hatch suppresses exactly the annotated line.
+struct Node {
+  int value = 0;
+};
+
+Node* first() { return new Node(); }  // pmx-lint: allow(raw-new)
+Node* second() { return new Node(); }
+// A mismatched rule name must not suppress:
+Node* third() { return new Node(); }  // pmx-lint: allow(raw-rand)

@@ -1,0 +1,14 @@
+// Fixture: float/double accumulation trips float-accum outside whitelist.
+struct Tally {
+  double total_ns = 0.0;
+};
+
+double slot_accounting(const double* samples, int n) {
+  double acc = 0.0;
+  float small = 0.0F;
+  for (int i = 0; i < n; ++i) {
+    acc += samples[i];
+    small -= static_cast<float>(samples[i]);
+  }
+  return acc + static_cast<double>(small);
+}

@@ -1,0 +1,16 @@
+// Fixture: integral accumulation and float assignment must not trip
+// float-accum.
+#include <cstdint>
+
+std::int64_t integral_accounting(const std::int64_t* samples, int n) {
+  std::int64_t acc = 0;
+  std::uint64_t bytes = 0;
+  for (int i = 0; i < n; ++i) {
+    acc += samples[i];
+    bytes += static_cast<std::uint64_t>(samples[i]);
+  }
+  double ratio = 0.0;
+  ratio = static_cast<double>(acc) / 2.0;  // plain assignment is fine
+  return acc + static_cast<std::int64_t>(ratio) +
+         static_cast<std::int64_t>(bytes);
+}

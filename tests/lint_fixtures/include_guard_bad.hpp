@@ -1,0 +1,4 @@
+// Fixture: header without #pragma once trips include-guard.
+namespace lint_fixture {
+inline int unguarded() { return 1; }
+}  // namespace lint_fixture

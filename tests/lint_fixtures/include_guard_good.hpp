@@ -1,0 +1,6 @@
+// Fixture: #pragma once within the first lines satisfies include-guard.
+#pragma once
+
+namespace lint_fixture {
+inline int guarded() { return 2; }
+}  // namespace lint_fixture

@@ -1,0 +1,9 @@
+// Fixture: every line here trips the raw-rand rule.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int bad_rand() { return std::rand(); }
+void bad_srand() { srand(42); }
+unsigned bad_seed() { return static_cast<unsigned>(time(nullptr)); }
+std::mt19937 bad_engine{std::random_device{}()};

@@ -1,0 +1,10 @@
+// Fixture: pmx::Rng use and near-miss identifiers must not trip raw-rand.
+#include "common/rng.hpp"
+
+int good_draw(pmx::Rng& rng) { return static_cast<int>(rng.below(10)); }
+// Identifiers merely containing the banned names are fine:
+int operand_count = 0;
+int randomized_total(int grand) { return grand + operand_count; }
+// Mentions in comments are fine: std::rand(), time(NULL), std::mt19937.
+const char* kDoc = "calls std::rand() internally";  // string literal is fine
+std::int64_t runtime(std::int64_t t) { return t; }  // 'time(' needs a seed arg

@@ -1,0 +1,17 @@
+// Fixture: iterating unordered containers trips unordered-iter.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+std::uint64_t bucket_order_leak() {
+  std::unordered_map<int, int> table;
+  std::unordered_set<std::uint64_t> members;
+  std::uint64_t acc = 0;
+  for (const auto& [k, v] : table) {
+    acc = acc * 31 + static_cast<std::uint64_t>(k + v);
+  }
+  for (auto it = members.begin(); it != members.end(); ++it) {
+    acc = acc * 31 + *it;
+  }
+  return acc;
+}

@@ -1,0 +1,18 @@
+// Fixture: ordered containers and lookups must not trip unordered-iter.
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+std::uint64_t stable_order(const std::unordered_set<std::uint64_t>& members) {
+  std::map<int, int> table{{1, 2}};
+  std::vector<std::uint64_t> items{3, 4};
+  std::uint64_t acc = 0;
+  for (const auto& [k, v] : table) {  // std::map iterates in key order
+    acc += static_cast<std::uint64_t>(k + v);
+  }
+  for (const auto x : items) {
+    acc += x + (members.contains(x) ? 1u : 0u);  // lookup, not iteration
+  }
+  return acc;
+}

@@ -50,6 +50,34 @@ TEST(TimeoutPredictor, ReleaseStopsTracking) {
   EXPECT_EQ(p.tracked(), 0u);
 }
 
+TEST(TimeoutPredictor, EvictionsAreSortedBySrcDst) {
+  // Eviction order must not depend on unordered_map bucket order: the
+  // collector normalizes to (src, dst) so scheduler unholds replay
+  // identically on every platform.
+  TimeoutPredictor p(10_ns);
+  const std::vector<Conn> conns{{7, 2}, {1, 9}, {7, 0}, {3, 3}, {0, 5}};
+  for (const auto& c : conns) {
+    p.on_establish(c, 0_ns);
+  }
+  const auto evicted = p.collect_evictions(100_ns);
+  ASSERT_EQ(evicted.size(), conns.size());
+  const std::vector<Conn> expect{{0, 5}, {1, 9}, {3, 3}, {7, 0}, {7, 2}};
+  EXPECT_EQ(evicted, expect);
+}
+
+TEST(CounterPredictor, EvictionsAreSortedBySrcDst) {
+  CounterPredictor p(1);
+  p.on_establish(Conn{9, 1}, 0_ns);
+  p.on_establish(Conn{2, 4}, 0_ns);
+  p.on_establish(Conn{5, 0}, 0_ns);
+  p.on_use(Conn{0, 0}, 1_ns);
+  p.on_use(Conn{0, 0}, 2_ns);
+  auto evicted = p.collect_evictions(3_ns);
+  // Conn{0,0} stays fresh; the three established conns age out in order.
+  const std::vector<Conn> expect{{2, 4}, {5, 0}, {9, 1}};
+  EXPECT_EQ(evicted, expect);
+}
+
 TEST(TimeoutPredictor, TracksConnectionsIndependently) {
   TimeoutPredictor p(100_ns);
   p.on_establish(Conn{0, 1}, 0_ns);

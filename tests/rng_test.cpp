@@ -72,7 +72,7 @@ TEST(Rng, UniformIsInHalfOpenUnitInterval) {
     const double u = rng.uniform();
     EXPECT_GE(u, 0.0);
     EXPECT_LT(u, 1.0);
-    sum += u;
+    sum += u;  // pmx-lint: allow(float-accum)
   }
   EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
 }
@@ -101,7 +101,7 @@ TEST(Rng, ExponentialMean) {
   for (int i = 0; i < kSamples; ++i) {
     const double x = rng.exponential(100.0);
     EXPECT_GE(x, 0.0);
-    sum += x;
+    sum += x;  // pmx-lint: allow(float-accum)
   }
   EXPECT_NEAR(sum / kSamples, 100.0, 3.0);
 }

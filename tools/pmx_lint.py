@@ -1,0 +1,421 @@
+#!/usr/bin/env python3
+"""pmx-lint: determinism & hygiene analyzer for the pmx codebase.
+
+The reproduction's correctness claims rest on bit-exact determinism: gate
+counts, the SL fast/ref differential oracle, and the byte-identical
+``--jobs N`` sweep all assume no hidden nondeterminism. This linter rejects
+the source-level patterns that historically break that contract:
+
+  raw-rand       direct std::rand / srand / time() seeding / std::random_device
+                 / std::mt19937 use anywhere outside src/common/rng.{hpp,cpp}.
+                 All randomness must flow through pmx::Rng (xoshiro256**),
+                 whose output is platform-independent.
+  unordered-iter iteration over a std::unordered_map / std::unordered_set.
+                 Bucket order is implementation-defined, so any loop over an
+                 unordered container can leak nondeterministic ordering into
+                 output or event order. Commutative folds (count, max, set
+                 union) are safe: annotate them with an allow comment.
+  float-accum    += / -= accumulation into float/double outside the
+                 whitelisted analytic-model files. Slot and latency
+                 *accounting* must stay integral (TimeNs / byte counts);
+                 floating point is reserved for derived statistics.
+  raw-new        raw `new` / `delete` expressions. Ownership goes through
+                 containers and smart pointers; raw allocation invites leaks
+                 the ASan tier then has to chase.
+  include-guard  headers must open with `#pragma once`.
+
+Escape hatch: a finding on line N is suppressed by appending
+``// pmx-lint: allow(<rule>)`` to line N (and only line N). Multiple rules:
+``allow(rule-a, rule-b)``. For the file-level include-guard rule the allow
+comment must sit on line 1.
+
+Baseline mode: ``--baseline FILE`` loads a committed JSON baseline and only
+*new* findings (not fingerprint-matched by the baseline) fail the run;
+``--write-baseline FILE`` records the current findings. Fingerprints hash the
+rule plus the whitespace-normalized source line, so unrelated edits moving a
+known finding up or down a file do not break CI.
+
+Exit status: 0 when no (new) findings, 1 when findings remain, 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import re
+import sys
+from pathlib import Path
+
+SOURCE_EXTENSIONS = (".hpp", ".cpp")
+DEFAULT_ROOTS = ("src", "bench", "tests", "examples", "tools")
+# Fixture corpus intentionally violates every rule; never lint it as code.
+EXCLUDED_PARTS = ("lint_fixtures",)
+
+# Files allowed to touch raw randomness primitives: the Rng wrapper itself.
+RAW_RAND_EXEMPT = ("src/common/rng.hpp", "src/common/rng.cpp")
+
+# Analytic-model / statistics files where floating-point accumulation is the
+# point (latency closed forms, Welford stats, derived run metrics). Slot and
+# event accounting elsewhere must stay integral.
+FLOAT_ACCUM_WHITELIST = (
+    "src/sched/latency_model.hpp",
+    "src/sched/latency_model.cpp",
+    "src/common/stats.hpp",
+    "src/common/stats.cpp",
+    "src/core/metrics.hpp",
+    "src/core/metrics.cpp",
+)
+
+ALLOW_RE = re.compile(r"pmx-lint:\s*allow\(([a-zA-Z0-9_,\s-]+)\)")
+
+RAW_RAND_RE = re.compile(
+    r"(?<![\w:])(?:std::)?"
+    r"(?:rand|srand|random_device|mt19937(?:_64)?|minstd_rand0?|default_random_engine)"
+    r"(?![\w])"
+    r"|(?<![\w:])(?:std::)?time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+)
+
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>[\s&*]*"
+    r"(?:const\s+)?([A-Za-z_]\w*)\s*(?:[;={,)]|$)"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;]*?):([^)]*)\)")
+ITER_LOOP_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*(?:begin|cbegin)\s*\(\s*\)")
+
+FLOAT_DECL_RE = re.compile(
+    r"\b(?:double|float)\b[\s&*]*(?:const\s+)?([A-Za-z_]\w*)\s*(?:[;={,)]|$)"
+)
+COMPOUND_ASSIGN_RE = re.compile(r"(?:^|[^\w.])([A-Za-z_]\w*)\s*[+-]=")
+
+NEW_RE = re.compile(r"(?<!\boperator )\bnew\b\s*(?:\(|[A-Za-z_:<])")
+DELETE_RE = re.compile(r"(?<!\boperator )(?<!=\s)(?<!= )\bdelete\b(?!\s*;)")
+
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
+
+RULES = {
+    "raw-rand": "raw randomness primitive; use pmx::Rng from src/common/rng.hpp",
+    "unordered-iter": "iteration over unordered container leaks bucket order; "
+    "iterate a sorted/stable structure or allow() a commutative fold",
+    "float-accum": "floating-point accumulation outside analytic-model "
+    "whitelist; keep slot/latency accounting integral",
+    "raw-new": "raw new/delete; use containers or smart pointers",
+    "include-guard": "header does not start with #pragma once",
+}
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message", "code")
+
+    def __init__(self, path: str, line: int, rule: str, message: str, code: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.code = code
+
+    def fingerprint(self) -> str:
+        normalized = " ".join(self.code.split())
+        digest = hashlib.sha1(
+            f"{self.rule}\x00{normalized}".encode()
+        ).hexdigest()
+        return digest[:16]
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str):
+    """Return (code_lines, comment_lines): per-line source with comments and
+    string/char literal bodies blanked out, and per-line comment text (for
+    allow() extraction). Handles //, /* */, "...", '...', and R"(...)"."""
+    code = []
+    comments = []
+    code_line: list[str] = []
+    comment_line: list[str] = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_delim = ""
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "\n":
+            code.append("".join(code_line))
+            comments.append("".join(comment_line))
+            code_line, comment_line = [], []
+            if state == "line_comment":
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if ch == "R" and nxt == '"':
+                m = re.match(r'R"([^(\s]*)\(', text[i:])
+                if m:
+                    raw_delim = m.group(1)
+                    state = "raw"
+                    code_line.append('R""')
+                    i += len(m.group(0))
+                    continue
+            if ch == '"':
+                state = "string"
+                code_line.append('"')
+                i += 1
+                continue
+            if ch == "'":
+                state = "char"
+                code_line.append("'")
+                i += 1
+                continue
+            code_line.append(ch)
+            i += 1
+        elif state == "line_comment":
+            comment_line.append(ch)
+            i += 1
+        elif state == "block_comment":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                i += 2
+            else:
+                comment_line.append(ch)
+                i += 1
+        elif state == "string":
+            if ch == "\\":
+                i += 2
+            elif ch == '"':
+                code_line.append('"')
+                state = "code"
+                i += 1
+            else:
+                i += 1
+        elif state == "char":
+            if ch == "\\":
+                i += 2
+            elif ch == "'":
+                code_line.append("'")
+                state = "code"
+                i += 1
+            else:
+                i += 1
+        elif state == "raw":
+            end = f'){raw_delim}"'
+            if text.startswith(end, i):
+                state = "code"
+                i += len(end)
+            else:
+                i += 1
+    if code_line or comment_line or (text and not text.endswith("\n")):
+        code.append("".join(code_line))
+        comments.append("".join(comment_line))
+    return code, comments
+
+
+def allowed_rules(comment: str) -> set[str]:
+    rules: set[str] = set()
+    for m in ALLOW_RE.finditer(comment):
+        for rule in m.group(1).split(","):
+            rules.add(rule.strip())
+    return rules
+
+
+def collect_names(pattern: re.Pattern, lines) -> set[str]:
+    names: set[str] = set()
+    for line in lines:
+        for m in pattern.finditer(line):
+            names.add(m.group(1))
+    return names
+
+
+def paired_header_lines(path: Path) -> list[str]:
+    """For foo.cpp, also scan foo.hpp so member declarations are visible."""
+    if path.suffix != ".cpp":
+        return []
+    header = path.with_suffix(".hpp")
+    if not header.is_file():
+        return []
+    code, _ = strip_comments_and_strings(header.read_text(encoding="utf-8"))
+    return code
+
+
+def range_expr_name(expr: str) -> str:
+    """Final identifier of a range expression: `obj.member_` -> `member_`."""
+    m = re.search(r"([A-Za-z_]\w*)\s*$", expr.strip())
+    return m.group(1) if m else ""
+
+
+def lint_file(path: Path, rel: str, rules: set[str]) -> list[Finding]:
+    text = path.read_text(encoding="utf-8")
+    code_lines, comment_lines = strip_comments_and_strings(text)
+    raw_lines = text.splitlines()
+    findings: list[Finding] = []
+
+    def emit(lineno: int, rule: str, message: str):
+        comment = comment_lines[lineno - 1] if lineno - 1 < len(comment_lines) else ""
+        if rule in allowed_rules(comment):
+            return
+        src = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+        findings.append(Finding(rel, lineno, rule, message, src))
+
+    if "raw-rand" in rules and rel not in RAW_RAND_EXEMPT:
+        for idx, line in enumerate(code_lines, 1):
+            if RAW_RAND_RE.search(line):
+                emit(idx, "raw-rand", RULES["raw-rand"])
+
+    if "unordered-iter" in rules:
+        scope = code_lines + paired_header_lines(path)
+        unordered_names = collect_names(UNORDERED_DECL_RE, scope)
+        for idx, line in enumerate(code_lines, 1):
+            for m in RANGE_FOR_RE.finditer(line):
+                if range_expr_name(m.group(2)) in unordered_names:
+                    emit(idx, "unordered-iter", RULES["unordered-iter"])
+            for m in ITER_LOOP_RE.finditer(line):
+                if m.group(1) in unordered_names:
+                    emit(idx, "unordered-iter", RULES["unordered-iter"])
+
+    if "float-accum" in rules and rel not in FLOAT_ACCUM_WHITELIST:
+        scope = code_lines + paired_header_lines(path)
+        float_names = collect_names(FLOAT_DECL_RE, scope)
+        for idx, line in enumerate(code_lines, 1):
+            for m in COMPOUND_ASSIGN_RE.finditer(line):
+                if m.group(1) in float_names:
+                    emit(idx, "float-accum", RULES["float-accum"])
+
+    if "raw-new" in rules:
+        for idx, line in enumerate(code_lines, 1):
+            if NEW_RE.search(line) or DELETE_RE.search(line):
+                emit(idx, "raw-new", RULES["raw-new"])
+
+    if "include-guard" in rules and path.suffix == ".hpp":
+        has_pragma = any(PRAGMA_ONCE_RE.match(line) for line in code_lines[:5])
+        if not has_pragma:
+            comment = comment_lines[0] if comment_lines else ""
+            if "include-guard" not in allowed_rules(comment):
+                findings.append(
+                    Finding(rel, 1, "include-guard", RULES["include-guard"],
+                            raw_lines[0] if raw_lines else "")
+                )
+
+    return findings
+
+
+def discover(root: Path, paths: list[str]) -> list[Path]:
+    """Explicit file arguments are always linted; directory walks skip the
+    fixture corpus (which violates every rule on purpose)."""
+    files: list[Path] = []
+    targets = paths if paths else list(DEFAULT_ROOTS)
+    for target in targets:
+        p = (root / target) if not Path(target).is_absolute() else Path(target)
+        if p.is_file():
+            files.append(p)
+        elif p.is_dir():
+            files.extend(
+                f
+                for ext in SOURCE_EXTENSIONS
+                for f in sorted(p.rglob(f"*{ext}"))
+                if not any(part in EXCLUDED_PARTS for part in f.parts)
+            )
+    return files
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    counts: dict[str, int] = {}
+    for entry in data.get("findings", []):
+        key = f"{entry['file']}\x00{entry['rule']}\x00{entry['fingerprint']}"
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pmx-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             f"(default: {', '.join(DEFAULT_ROOTS)})")
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--rules",
+                        help="comma-separated rule subset to run")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="JSON baseline; only new findings fail")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="write current findings as the new baseline")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-finding output")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, doc in RULES.items():
+            print(f"{rule:15s} {doc}")
+        return 0
+
+    active = set(RULES)
+    if args.rules:
+        active = {r.strip() for r in args.rules.split(",")}
+        unknown = active - set(RULES)
+        if unknown:
+            print(f"pmx-lint: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    root = Path(args.root).resolve()
+    files = discover(root, args.paths)
+    if not files:
+        print("pmx-lint: no source files found", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for f in files:
+        try:
+            rel = str(f.resolve().relative_to(root))
+        except ValueError:
+            rel = str(f)
+        findings.extend(lint_file(f, rel, active))
+
+    if args.write_baseline:
+        payload = {
+            "findings": [
+                {"file": fi.path, "rule": fi.rule,
+                 "fingerprint": fi.fingerprint()}
+                for fi in findings
+            ]
+        }
+        Path(args.write_baseline).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"pmx-lint: wrote baseline with {len(findings)} finding(s) "
+              f"to {args.write_baseline}")
+        return 0
+
+    if args.baseline:
+        baseline = load_baseline(Path(args.baseline))
+        fresh: list[Finding] = []
+        for fi in findings:
+            key = f"{fi.path}\x00{fi.rule}\x00{fi.fingerprint()}"
+            if baseline.get(key, 0) > 0:
+                baseline[key] -= 1
+            else:
+                fresh.append(fi)
+        findings = fresh
+
+    if not args.quiet:
+        for fi in findings:
+            print(fi)
+    label = "new finding(s)" if args.baseline else "finding(s)"
+    print(f"pmx-lint: {len(findings)} {label} in {len(files)} file(s)",
+          file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
