@@ -120,6 +120,23 @@ RunResult run_workload(const RunConfig& config, const Workload& workload) {
   driver.start();
   sim.run_until(config.horizon);
 
+  if (SlotAuditor* auditor = network->auditor()) {
+    if (driver.finished()) {
+      // Quiesce window: let in-flight control traffic settle (pending
+      // releases, the last watchdog tick, a full lease round) so the final
+      // audit judges the steady state, not a message still on the wire.
+      TimeNs window = config.params.slot_length * 8;
+      if (network->control_faulty()) {
+        window = window + config.params.ctrl.watchdog_cap +
+                 config.params.ctrl.lease * 2;
+      }
+      sim.run_until(sim.now() + window);
+    }
+    // Every campaign ends on an explicit audit: zero leaked crosspoints,
+    // zero wedged NICs, conservation intact -- or a violation on record.
+    auditor->audit_now();
+  }
+
   RunResult result;
   result.completed = driver.finished();
   result.sim_events = sim.events_processed();

@@ -42,6 +42,29 @@ void fill_fault_metrics(const Network& network, RunMetrics& m) {
   }
 }
 
+void fill_ctrl_metrics(const Network& network, RunMetrics& m) {
+  const CounterSet& c = network.counters();
+  if (const ControlFaultModel* cf = network.control_fault()) {
+    m.ctrl_messages = cf->total_sent();
+    m.ctrl_dropped = cf->total_dropped();
+    m.ctrl_corrupted = cf->total_corrupted();
+    m.ctrl_delayed = cf->total_delayed();
+    m.ctrl_rerequests = c.value("ctrl_rerequests");
+    m.lease_expiries = c.value("lease_expiries");
+  }
+  if (const SlotAuditor* auditor = network.auditor()) {
+    const AuditStats& a = auditor->stats();
+    m.audits = a.audits;
+    m.audit_violations = a.violations;
+    m.resyncs = a.resyncs;
+    if (a.recoveries > 0) {
+      m.resync_latency_mean_ns = static_cast<double>(a.recovery_total.ns()) /
+                                 static_cast<double>(a.recoveries);
+      m.resync_latency_max_ns = static_cast<double>(a.recovery_max.ns());
+    }
+  }
+}
+
 }  // namespace
 
 RunMetrics compute_metrics(const Workload& workload, const Network& network) {
@@ -52,6 +75,7 @@ RunMetrics compute_metrics(const Workload& workload, const Network& network) {
   m.makespan = network.last_delivery();
   if (records.empty() || m.makespan <= TimeNs::zero()) {
     fill_fault_metrics(network, m);
+    fill_ctrl_metrics(network, m);
     return m;
   }
 
@@ -80,6 +104,7 @@ RunMetrics compute_metrics(const Workload& workload, const Network& network) {
                                                    latencies.size())));
   m.p99_latency_ns = latencies[p99_idx];
   fill_fault_metrics(network, m);
+  fill_ctrl_metrics(network, m);
   return m;
 }
 

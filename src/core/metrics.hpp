@@ -44,6 +44,21 @@ struct RunMetrics {
   double recovery_mean_ns = 0.0;
   double recovery_max_ns = 0.0;
 
+  // --- Control-plane metrics (zero when the control-fault layer is off) ---
+  std::uint64_t ctrl_messages = 0;   ///< request/grant/release sends
+  std::uint64_t ctrl_dropped = 0;
+  std::uint64_t ctrl_corrupted = 0;
+  std::uint64_t ctrl_delayed = 0;
+  std::uint64_t ctrl_rerequests = 0;  ///< watchdog/revoke reissues
+  std::uint64_t lease_expiries = 0;   ///< idle holds reclaimed by the lease
+  std::uint64_t audits = 0;           ///< slot-auditor passes
+  std::uint64_t audit_violations = 0;
+  std::uint64_t resyncs = 0;          ///< full NIC <-> scheduler resyncs
+  /// Mean/max time from the audit that opened a violation episode to the
+  /// first clean audit afterwards (0 when nothing ever recovered).
+  double resync_latency_mean_ns = 0.0;
+  double resync_latency_max_ns = 0.0;
+
   friend bool operator==(const RunMetrics&, const RunMetrics&) = default;
 };
 

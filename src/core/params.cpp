@@ -19,6 +19,8 @@ void SystemParams::validate() const {
   PMX_CHECK(flit_bytes > 0 && max_worm_bytes >= flit_bytes,
             "worm limit must fit at least one flit");
   fault.validate(num_nodes);
+  ctrl.validate(slot_length);
+  audit.validate();
 }
 
 }  // namespace pmx

@@ -4,7 +4,9 @@
 #include <cstdint>
 
 #include "common/time.hpp"
+#include "core/slot_auditor.hpp"
 #include "fabric/link.hpp"
+#include "fault/control_fault.hpp"
 #include "fault/fault_model.hpp"
 
 namespace pmx {
@@ -48,6 +50,15 @@ struct SystemParams {
   /// which case the fault layer is not instantiated at all and the system
   /// behaves bit-identically to the fault-free design.
   FaultParams fault{};
+
+  /// Control-plane fault injection (lossy request/grant/release channel)
+  /// plus the NIC grant watchdog and scheduler lease that heal it. All
+  /// rates default to zero: no control-fault machinery is instantiated.
+  ControlFaultParams ctrl{};
+
+  /// Periodic slot-state auditor (invariant checks, strict abort or
+  /// resync recovery). Disabled by default.
+  AuditParams audit{};
 
   [[nodiscard]] LinkModel link_model() const { return LinkModel{link}; }
 

@@ -1,0 +1,72 @@
+#include "core/slot_auditor.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+void AuditParams::validate() const {
+  PMX_CHECK(period_slots >= 1, "audit period must be at least one slot");
+}
+
+SlotAuditor::SlotAuditor(Simulator& sim, const AuditParams& params,
+                         TimeNs slot_length)
+    : sim_(sim),
+      params_(params),
+      clock_(sim, slot_length * static_cast<std::int64_t>(params.period_slots),
+             [this] { audit_now(); }) {
+  params_.validate();
+  PMX_CHECK(slot_length > TimeNs::zero(), "audit needs a positive slot");
+}
+
+void SlotAuditor::add_check(std::string name, CheckFn fn) {
+  checks_.emplace_back(std::move(name), std::move(fn));
+}
+
+void SlotAuditor::start() { clock_.start(clock_.period()); }
+
+void SlotAuditor::audit_now() {
+  ++stats_.audits;
+  last_violations_.clear();
+  for (const auto& [name, check] : checks_) {
+    const std::size_t before = last_violations_.size();
+    check(last_violations_);
+    for (std::size_t i = before; i < last_violations_.size(); ++i) {
+      last_violations_[i] = name + ": " + last_violations_[i];
+    }
+  }
+
+  if (last_violations_.empty()) {
+    if (in_violation_) {
+      // Episode healed: the resync (or the paradigm's own watchdog/lease
+      // machinery) brought the views back into agreement.
+      in_violation_ = false;
+      ++stats_.recoveries;
+      const TimeNs took = sim_.now() - episode_start_;
+      stats_.recovery_total += took;
+      stats_.recovery_max = std::max(stats_.recovery_max, took);
+    }
+    return;
+  }
+
+  ++stats_.violating_audits;
+  stats_.violations += last_violations_.size();
+  if (params_.strict) {
+    std::string all = "slot audit failed:";
+    for (const auto& v : last_violations_) {
+      all += "\n    " + v;
+    }
+    PMX_CHECK(false, all.c_str());
+  }
+  if (!in_violation_) {
+    in_violation_ = true;
+    episode_start_ = sim_.now();
+  }
+  if (resync_) {
+    ++stats_.resyncs;
+    resync_();
+  }
+}
+
+}  // namespace pmx

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/clock.hpp"
+#include "sim/simulator.hpp"
+
+namespace pmx {
+
+/// Configuration of the periodic slot-state auditor. Disabled by default:
+/// no auditor is instantiated and the system behaves exactly as the seed.
+struct AuditParams {
+  bool enabled = false;
+  /// Audit every this many TDM slots (the audit clock's period is
+  /// period_slots * slot_length). 1 = every slot.
+  std::size_t period_slots = 1;
+  /// Strict mode: abort on the first violation (for tests proving that a
+  /// leak/wedge actually occurs). Recovery mode (the default) triggers a
+  /// full NIC <-> scheduler resync instead and counts it.
+  bool strict = false;
+
+  void validate() const;
+};
+
+/// Aggregate auditor statistics, surfaced through RunMetrics.
+struct AuditStats {
+  std::uint64_t audits = 0;            ///< audit ticks executed
+  std::uint64_t violating_audits = 0;  ///< ticks with >= 1 violation
+  std::uint64_t violations = 0;        ///< individual violations found
+  std::uint64_t resyncs = 0;           ///< recovery resyncs triggered
+  std::uint64_t recoveries = 0;        ///< violation episodes that healed
+  /// Sum / max of (first clean audit - first violating audit) per episode.
+  TimeNs recovery_total{};
+  TimeNs recovery_max{};
+};
+
+/// Periodic global-invariant checker (the tentpole's watchdog of last
+/// resort). Every `period_slots` TDM slots it runs all registered checks --
+/// crosspoint double-allocation, AI/AO occupancy parity, message
+/// conservation, NIC/scheduler view divergence -- and on violation either
+/// aborts (strict mode) or invokes the resync hook and tracks how long the
+/// system took to audit clean again (recovery mode).
+///
+/// Checks are registered by the Network base and by each paradigm; they run
+/// in registration order and append one human-readable line per violation.
+class SlotAuditor {
+ public:
+  using CheckFn = std::function<void(std::vector<std::string>&)>;
+
+  SlotAuditor(Simulator& sim, const AuditParams& params, TimeNs slot_length);
+
+  void add_check(std::string name, CheckFn fn);
+  void set_resync(std::function<void()> fn) { resync_ = std::move(fn); }
+
+  /// Start the periodic audit clock (first audit one period from now, so
+  /// every audit lands on a slot boundary after that slot's work is done).
+  void start();
+
+  /// Run one audit immediately (also used for the final post-quiesce audit).
+  void audit_now();
+
+  [[nodiscard]] const AuditParams& params() const { return params_; }
+  [[nodiscard]] const AuditStats& stats() const { return stats_; }
+  /// Violations found by the most recent audit (empty when it was clean).
+  [[nodiscard]] const std::vector<std::string>& last_violations() const {
+    return last_violations_;
+  }
+
+ private:
+  Simulator& sim_;
+  AuditParams params_;
+  std::vector<std::pair<std::string, CheckFn>> checks_;
+  std::function<void()> resync_;
+  Clock clock_;
+  AuditStats stats_;
+  std::vector<std::string> last_violations_;
+  /// Open violation episode: set at the first violating audit, cleared
+  /// (and its duration recorded) at the first clean audit after it.
+  bool in_violation_ = false;
+  TimeNs episode_start_{};
+};
+
+}  // namespace pmx

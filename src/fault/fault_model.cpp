@@ -79,6 +79,10 @@ bool FaultModel::corrupts_payload(std::uint64_t bytes) {
 }
 
 bool FaultModel::corrupts_ack() {
+  if (forced_ack_corruptions_ > 0) {
+    --forced_ack_corruptions_;
+    return true;
+  }
   if (ack_corrupt_p_ <= 0.0) {
     return false;
   }

@@ -119,6 +119,11 @@ class FaultModel {
   /// Deterministic test hook, the transient-error analogue of
   /// inject_link_fault.
   void force_corrupt_payloads(std::size_t n) { forced_corruptions_ += n; }
+  /// Scripted ACK loss: the next `n` acknowledgements are corrupted
+  /// regardless of the random draw (RNG not consumed). Forces the sender
+  /// onto its timeout-retransmission path deterministically, e.g. to race a
+  /// duplicate against a late original delivery.
+  void force_corrupt_acks(std::size_t n) { forced_ack_corruptions_ += n; }
 
   /// Retransmission backoff before attempt `attempt` (attempt 2 is the
   /// first retransmission): base * 2^(attempt-2), capped.
@@ -149,6 +154,7 @@ class FaultModel {
   double ack_corrupt_p_ = 0.0;      ///< corruption prob. of one ACK
 
   std::size_t forced_corruptions_ = 0;  ///< scripted CRC failures pending
+  std::size_t forced_ack_corruptions_ = 0;  ///< scripted ACK losses pending
 
   std::vector<bool> up_;
   std::size_t links_down_ = 0;

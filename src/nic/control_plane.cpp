@@ -1,0 +1,182 @@
+#include "nic/control_plane.hpp"
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+ControlPlane::ControlPlane(Simulator& sim, ControlFaultModel& ctrl,
+                           const Options& options, CounterSet& counters,
+                           ApplyRequestFn apply)
+    : sim_(sim),
+      ctrl_(ctrl),
+      n_(options.num_nodes),
+      wire_(options.wire_latency),
+      grant_line_(options.grant_line),
+      heal_(options.heal),
+      counters_(counters),
+      apply_(std::move(apply)),
+      pairs_(options.num_nodes * options.num_nodes) {
+  PMX_CHECK(n_ >= 2, "control plane needs at least two nodes");
+  PMX_CHECK(wire_ >= TimeNs::zero(), "negative control wire latency");
+  PMX_CHECK(apply_ != nullptr, "control plane needs an apply hook");
+}
+
+void ControlPlane::want(NodeId u, NodeId v) {
+  PairState& p = pair(u, v);
+  if (p.wants) {
+    return;
+  }
+  p.wants = true;
+  p.attempts = 1;
+  p.progressed = false;
+  send_request(u, v, true);
+  if (heal_) {
+    arm_watchdog(u, v);
+  }
+}
+
+void ControlPlane::unwant(NodeId u, NodeId v) {
+  PairState& p = pair(u, v);
+  if (!p.wants) {
+    return;
+  }
+  p.wants = false;
+  p.attempts = 1;
+  if (p.watchdog != 0) {
+    sim_.cancel(p.watchdog);
+    p.watchdog = 0;
+  }
+  send_request(u, v, false);
+}
+
+void ControlPlane::note_progress(NodeId u, NodeId v) {
+  pair(u, v).progressed = true;
+}
+
+void ControlPlane::send_request(NodeId u, NodeId v, bool value) {
+  PairState& p = pair(u, v);
+  const CtrlMsg kind = value ? CtrlMsg::kRequest : CtrlMsg::kRelease;
+  const bool scheduled =
+      ctrl_.send(kind, wire_, [this, u, v, value, ep = epoch_] {
+        if (ep != epoch_) {
+          counters_.counter("ctrl_stale") += 1;
+          return;
+        }
+        PairState& q = pair(u, v);
+        if (q.pending_request > 0) {
+          --q.pending_request;
+        }
+        apply_(u, v, value);
+      });
+  if (scheduled) {
+    ++p.pending_request;
+  }
+}
+
+void ControlPlane::arm_watchdog(NodeId u, NodeId v) {
+  PairState& p = pair(u, v);
+  p.watchdog = sim_.schedule_after(ctrl_.watchdog_delay(p.attempts),
+                                   [this, u, v, ep = epoch_] {
+                                     if (ep != epoch_) {
+                                       return;
+                                     }
+                                     on_watchdog(u, v);
+                                   });
+}
+
+void ControlPlane::on_watchdog(NodeId u, NodeId v) {
+  PairState& p = pair(u, v);
+  p.watchdog = 0;
+  if (!p.wants || !heal_) {
+    return;
+  }
+  if (p.progressed) {
+    // The pair made progress (grant arrived or data flowed) since the last
+    // check: the request evidently got through. Reset the backoff.
+    p.progressed = false;
+    p.attempts = 1;
+    arm_watchdog(u, v);
+    return;
+  }
+  // No evidence the scheduler ever heard us: reissue with backoff. Safe
+  // when the original was merely delayed -- a duplicate request on an
+  // established pair just refreshes its lease.
+  ++p.attempts;
+  counters_.counter("ctrl_rerequests") += 1;
+  send_request(u, v, true);
+  arm_watchdog(u, v);
+}
+
+void ControlPlane::send_grant(NodeId u, NodeId v, bool value) {
+  if (!grant_line_) {
+    return;
+  }
+  PairState& p = pair(u, v);
+  const bool scheduled =
+      ctrl_.send(CtrlMsg::kGrant, wire_, [this, u, v, value, ep = epoch_] {
+        if (ep != epoch_) {
+          counters_.counter("ctrl_stale") += 1;
+          return;
+        }
+        PairState& q = pair(u, v);
+        if (q.pending_grant > 0) {
+          --q.pending_grant;
+        }
+        if (value) {
+          q.granted = true;
+          q.progressed = true;
+          return;
+        }
+        q.granted = false;
+        if (q.wants) {
+          // Revoked while traffic is still queued (lease expiry racing new
+          // demand, or a predictor release): re-request immediately.
+          counters_.counter("ctrl_rerequests") += 1;
+          send_request(u, v, true);
+        }
+      });
+  if (scheduled) {
+    ++p.pending_grant;
+  }
+}
+
+void ControlPlane::refresh_lease(NodeId u, NodeId v) {
+  pair(u, v).lease_stamp = sim_.now();
+}
+
+bool ControlPlane::lease_active() const {
+  return heal_ && ctrl_.params().lease > TimeNs::zero();
+}
+
+bool ControlPlane::lease_expired(NodeId u, NodeId v) const {
+  if (!lease_active()) {
+    return false;
+  }
+  return sim_.now() - pair(u, v).lease_stamp >= ctrl_.params().lease;
+}
+
+void ControlPlane::begin_resync() {
+  ++epoch_;
+  for (PairState& p : pairs_) {
+    if (p.watchdog != 0) {
+      sim_.cancel(p.watchdog);
+      p.watchdog = 0;
+    }
+    p.pending_request = 0;
+    p.pending_grant = 0;
+    p.attempts = 1;
+    p.progressed = false;
+  }
+}
+
+void ControlPlane::force_state(NodeId u, NodeId v, bool wants, bool granted) {
+  PairState& p = pair(u, v);
+  p.wants = wants;
+  p.granted = granted;
+  p.lease_stamp = sim_.now();
+  if (wants && heal_) {
+    arm_watchdog(u, v);
+  }
+}
+
+}  // namespace pmx

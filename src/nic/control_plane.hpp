@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "fault/control_fault.hpp"
+#include "nic/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace pmx {
+
+/// The NIC <-> TdmScheduler control endpoints under a lossy control channel.
+///
+/// With the control-fault layer off, a NIC's request bit R[u][v] is a wire
+/// the scheduler reads instantly and losslessly (the seed model). With it
+/// on, request/release updates and grant/revoke replies become messages
+/// routed through the ControlFaultModel, and the two ends keep *views* that
+/// can diverge:
+///   * NIC side  -- wants (the true intent, mirrors the VOQ), granted (the
+///     NIC's belief about its connection), a per-pair grant watchdog that
+///     reissues unacknowledged requests with exponential backoff;
+///   * scheduler side -- the R matrix itself (owned by TdmScheduler) plus a
+///     per-pair activity stamp backing the lease that auto-expires holds
+///     whose release was lost.
+///
+/// One instance serves a whole network (state is per source-destination
+/// pair); TdmNetwork models the grant line (data gated on `granted`),
+/// PreloadTdmNetwork runs request/release only (grant_line = false --
+/// preloaded configuration registers are written directly, so there is no
+/// grant reply to lose).
+class ControlPlane {
+ public:
+  struct Options {
+    std::size_t num_nodes = 0;
+    /// One-way NIC <-> scheduler control latency.
+    TimeNs wire_latency{};
+    /// Model scheduler -> NIC grant/revoke replies and track the NIC's
+    /// granted-belief (dynamic TDM). Off, send_grant() is a no-op.
+    bool grant_line = true;
+    /// Self-healing on (watchdog reissue + lease expiry).
+    bool heal = true;
+  };
+
+  /// Runs at the scheduler when a request (value=true) or release
+  /// (value=false) message arrives.
+  using ApplyRequestFn = std::function<void(NodeId, NodeId, bool)>;
+
+  ControlPlane(Simulator& sim, ControlFaultModel& ctrl, const Options& options,
+               CounterSet& counters, ApplyRequestFn apply);
+
+  // --- NIC side ------------------------------------------------------------
+  /// Raise intent for (u, v): sends a request message and arms the grant
+  /// watchdog. Idempotent while intent is already raised.
+  void want(NodeId u, NodeId v);
+  /// Drop intent: sends a release message, disarms the watchdog. A lost
+  /// release is healed scheduler-side by the lease.
+  void unwant(NodeId u, NodeId v);
+  [[nodiscard]] bool wants(NodeId u, NodeId v) const {
+    return pair(u, v).wants;
+  }
+  /// The NIC's belief that the scheduler holds its connection. Always true
+  /// when the grant line is not modeled.
+  [[nodiscard]] bool granted(NodeId u, NodeId v) const {
+    return !grant_line_ || pair(u, v).granted;
+  }
+  /// Data moved for (u, v): feeds the watchdog's progress detector so an
+  /// active pair is never spuriously reissued.
+  void note_progress(NodeId u, NodeId v);
+
+  // --- Scheduler side ------------------------------------------------------
+  /// Send a grant (value=true) or revoke (value=false) reply to the NIC.
+  /// On revoke arrival the NIC re-requests immediately if it still wants
+  /// the pair. No-op when the grant line is not modeled.
+  void send_grant(NodeId u, NodeId v, bool value);
+  /// Stamp scheduler-side activity for (u, v): request arrival,
+  /// establishment, or data observed in a slot.
+  void refresh_lease(NodeId u, NodeId v);
+  /// True when healing leases are armed (heal && lease > 0).
+  [[nodiscard]] bool lease_active() const;
+  /// True when (u, v)'s activity stamp is older than the lease.
+  [[nodiscard]] bool lease_expired(NodeId u, NodeId v) const;
+
+  // --- Audit hooks ---------------------------------------------------------
+  /// Control messages for (u, v) still in flight (scheduled deliveries).
+  [[nodiscard]] bool inflight(NodeId u, NodeId v) const {
+    const PairState& p = pair(u, v);
+    return p.pending_request > 0 || p.pending_grant > 0;
+  }
+  [[nodiscard]] bool watchdog_armed(NodeId u, NodeId v) const {
+    return pair(u, v).watchdog != 0;
+  }
+  [[nodiscard]] bool healing() const { return heal_; }
+
+  // --- Resync (auditor recovery mode) --------------------------------------
+  /// Invalidate every in-flight control message and watchdog (epoch bump);
+  /// callers then rebuild both views pair by pair via force_state().
+  void begin_resync();
+  /// Overwrite (u, v)'s state with ground truth: NIC intent and the
+  /// scheduler's established bit. Re-arms the watchdog for wanted pairs and
+  /// refreshes the lease.
+  void force_state(NodeId u, NodeId v, bool wants, bool granted);
+
+ private:
+  struct PairState {
+    bool wants = false;
+    bool granted = false;
+    /// Progress (data or a grant) observed since the watchdog last fired.
+    bool progressed = false;
+    std::uint32_t attempts = 1;
+    std::uint32_t pending_request = 0;  ///< requests/releases in flight
+    std::uint32_t pending_grant = 0;    ///< grants/revokes in flight
+    EventId watchdog = 0;               ///< 0 = unarmed
+    TimeNs lease_stamp{};
+  };
+
+  [[nodiscard]] PairState& pair(NodeId u, NodeId v) {
+    return pairs_[u * n_ + v];
+  }
+  [[nodiscard]] const PairState& pair(NodeId u, NodeId v) const {
+    return pairs_[u * n_ + v];
+  }
+
+  void send_request(NodeId u, NodeId v, bool value);
+  void arm_watchdog(NodeId u, NodeId v);
+  void on_watchdog(NodeId u, NodeId v);
+
+  Simulator& sim_;
+  ControlFaultModel& ctrl_;
+  std::size_t n_;
+  TimeNs wire_;
+  bool grant_line_;
+  bool heal_;
+  CounterSet& counters_;
+  ApplyRequestFn apply_;
+  std::vector<PairState> pairs_;
+  /// Bumped by begin_resync(); in-flight deliveries and watchdogs capture
+  /// the epoch they were scheduled under and go inert on mismatch.
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace pmx

@@ -360,4 +360,27 @@ void TdmScheduler::rebuild_b_star() {
   }
 }
 
+void TdmScheduler::audit_invariants(std::vector<std::string>& out) const {
+  BitMatrix all(n_);
+  for (std::size_t s = 0; s < k_; ++s) {
+    if (!slots_[s].is_partial_permutation()) {
+      out.push_back("slot " + std::to_string(s) +
+                    " double-allocates a crosspoint (configuration is not "
+                    "a partial permutation)");
+    }
+    if (slot_ai_[s] != slots_[s].row_or()) {
+      out.push_back("slot " + std::to_string(s) +
+                    " AI occupancy cache diverged from its configuration");
+    }
+    if (slot_ao_[s] != slots_[s].col_or()) {
+      out.push_back("slot " + std::to_string(s) +
+                    " AO occupancy cache diverged from its configuration");
+    }
+    all |= slots_[s];
+  }
+  if (!(all == b_star_)) {
+    out.push_back("B* diverged from the union of the slot configurations");
+  }
+}
+
 }  // namespace pmx

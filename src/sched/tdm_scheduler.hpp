@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -178,6 +179,12 @@ class TdmScheduler {
                                                   std::size_t v) const;
 
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
+
+  /// Slot-auditor hook: verify every configuration is a partial permutation
+  /// (no crosspoint double-allocation), the incrementally maintained AI/AO
+  /// occupancy caches match their configurations (XOR-parity bookkeeping),
+  /// and B* equals the union of the slots. Appends one line per violation.
+  void audit_invariants(std::vector<std::string>& out) const;
 
  private:
   void rebuild_b_star();

@@ -19,23 +19,23 @@ void EventQueue::cancel(EventId id) {
     return;  // never issued: nothing to tombstone
   }
   cancelled_.insert(id);
-  purge_stale_tombstones();
+  compact();
 }
 
-void EventQueue::purge_stale_tombstones() {
-  // A tombstone for an id that already fired matches no heap entry and
-  // would linger forever. The set is normally tiny; if it ever outgrows the
-  // live heap, one linear sweep drops every id no pending entry carries.
-  if (cancelled_.size() <= 64 || cancelled_.size() <= heap_.size()) {
+void EventQueue::compact() {
+  // Tombstones come in two kinds: entries still buried in the heap (dead
+  // weight on every sift) and ids that were cancelled after firing (match
+  // nothing, would linger forever). Once the set outgrows half the heap,
+  // erase the dead entries in one pass, rebuild the heap, and drop the
+  // whole set -- every remaining tombstone matched a removed entry or was
+  // already stale, and ids are never reused.
+  if (cancelled_.size() <= 64 || cancelled_.size() * 2 <= heap_.size()) {
     return;
   }
-  std::unordered_set<EventId> live;
-  for (const Entry& e : heap_) {
-    if (cancelled_.contains(e.id)) {
-      live.insert(e.id);
-    }
-  }
-  cancelled_ = std::move(live);
+  std::erase_if(heap_,
+                [this](const Entry& e) { return cancelled_.contains(e.id); });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  cancelled_.clear();
 }
 
 void EventQueue::drop_cancelled() {

@@ -19,7 +19,11 @@ using EventId = std::uint64_t;
 /// Callbacks live inline in the heap entries: the common push/pop path costs
 /// one heap sift each way and never touches a hash table. Cancellation stays
 /// lazy -- cancel() records the id in a (normally empty) tombstone set, and
-/// the entry is dropped when it reaches the top of the heap.
+/// the entry is dropped when it reaches the top of the heap. Workloads that
+/// cancel heavily (watchdogs re-armed on every grant) would let dead entries
+/// dominate the heap, so once tombstones outnumber half the heap cancel()
+/// compacts: dead entries are erased in one linear pass and the heap is
+/// rebuilt, restoring O(live) memory and sift cost.
 class EventQueue {
  public:
   /// Enqueue `fn` to run at absolute time `t`. Returns a handle usable with
@@ -46,6 +50,8 @@ class EventQueue {
   [[nodiscard]] std::size_t size_including_cancelled() const {
     return heap_.size();
   }
+  /// Pending tombstones (cancelled ids not yet swept out of the heap).
+  [[nodiscard]] std::size_t tombstones() const { return cancelled_.size(); }
 
  private:
   struct Entry {
@@ -65,13 +71,13 @@ class EventQueue {
   };
 
   void drop_cancelled();
-  void purge_stale_tombstones();
+  void compact();
 
   std::vector<Entry> heap_;
   /// Ids cancelled while (possibly) still pending. Kept small: a tombstone
-  /// is erased when its entry surfaces, and ids that were cancelled after
-  /// firing (which no entry will ever match) are swept out whenever the set
-  /// outgrows the heap.
+  /// is erased when its entry surfaces, and once the set outgrows half the
+  /// heap compact() erases the dead entries and clears it wholesale (ids
+  /// are never reused, so a tombstone matching no entry is dead for good).
   std::unordered_set<EventId> cancelled_;
   EventId next_id_ = 1;
 };

@@ -1,5 +1,8 @@
 #include "switching/circuit.hpp"
 
+#include <algorithm>
+#include <string>
+
 #include "common/assert.hpp"
 
 namespace pmx {
@@ -33,8 +36,7 @@ void CircuitNetwork::on_link_change(NodeId node, bool up) {
           (u == node || *src.held_circuit == node)) {
         const NodeId out = *src.held_circuit;
         src.held_circuit.reset();
-        sim_.schedule_after(params_.control_wire_latency(),
-                            [this, out] { release_output(out); });
+        schedule_release(out);
       }
     }
     return;
@@ -52,8 +54,7 @@ void CircuitNetwork::on_link_change(NodeId node, bool up) {
   if (!out.busy && !out.waiters.empty()) {
     const NodeId next = out.waiters.front();
     out.waiters.pop_front();
-    out.busy = true;
-    grant_circuit(next);
+    grant_to(node, next);
   }
 }
 
@@ -73,8 +74,7 @@ void CircuitNetwork::start_next_message(NodeId src_id) {
     if (src.held_circuit.has_value()) {
       const NodeId old_out = *src.held_circuit;
       src.held_circuit.reset();
-      sim_.schedule_after(params_.control_wire_latency(),
-                          [this, old_out] { release_output(old_out); });
+      schedule_release(old_out);
     }
     return;
   }
@@ -92,11 +92,23 @@ void CircuitNetwork::start_next_message(NodeId src_id) {
   src.fifo.pop_front();
 
   if (src.held_circuit == src.active.dst) {
-    // Circuit reuse: the pipe is already up; skip establishment entirely.
-    counters().counter("circuit_reuses") += 1;
-    sim_.schedule_after(params_.nic_cycle,
-                        [this, src_id] { transmit(src_id); });
-    return;
+    if (control_faulty() && outputs_[src.active.dst].holder != src_id) {
+      // The NIC believes it still holds this pipe, but the scheduler's
+      // lease already reclaimed it (the revoke notice was lost). Driving
+      // data into an unconnected fabric would lose it silently; fall back
+      // to a fresh establishment instead.
+      counters().counter("stale_holds") += 1;
+      src.held_circuit.reset();
+    } else {
+      // Circuit reuse: the pipe is already up; skip establishment entirely.
+      counters().counter("circuit_reuses") += 1;
+      if (control_faulty()) {
+        outputs_[src.active.dst].last_activity = sim_.now();
+      }
+      sim_.schedule_after(params_.nic_cycle,
+                          [this, src_id] { transmit(src_id); });
+      return;
+    }
   }
   // A held circuit to a different destination must be torn down first; its
   // teardown notice travels to the scheduler while we send the new request
@@ -104,8 +116,18 @@ void CircuitNetwork::start_next_message(NodeId src_id) {
   if (src.held_circuit.has_value()) {
     const NodeId old_out = *src.held_circuit;
     src.held_circuit.reset();
-    sim_.schedule_after(params_.control_wire_latency(),
-                        [this, old_out] { release_output(old_out); });
+    schedule_release(old_out);
+  }
+  if (control_faulty()) {
+    src.waiting_grant = true;
+    src.attempts = 1;
+    // NIC cycle, then the request crosses the lossy control wire.
+    send_request(src_id, src.active.dst,
+                 params_.nic_cycle + params_.control_wire_latency());
+    if (params_.ctrl.heal) {
+      arm_watchdog(src_id);
+    }
+    return;
   }
   // NIC cycle, then the request crosses the control wire to the scheduler.
   sim_.schedule_after(params_.nic_cycle + params_.control_wire_latency(),
@@ -123,16 +145,197 @@ void CircuitNetwork::request_arrived(NodeId src_id) {
     counters().counter("circuit_waits") += 1;
     return;
   }
+  grant_to(src.active.dst, src_id);
+}
+
+void CircuitNetwork::request_arrived_ctrl(NodeId src_id, NodeId dst) {
+  SourceState& src = sources_[src_id];
+  if (!src.busy || !src.waiting_grant || src.active.dst != dst) {
+    // Delayed duplicate of a request already served (the source has moved
+    // on): the scheduler drops it rather than allocate an unwanted output.
+    counters().counter("duplicate_requests") += 1;
+    return;
+  }
+  OutputState& out = outputs_[dst];
+  if (out.busy && out.holder == src_id) {
+    // The output is already ours -- the grant was lost or is still in
+    // flight and the watchdog re-requested. Re-acknowledge.
+    counters().counter("duplicate_requests") += 1;
+    out.last_activity = sim_.now();
+    send_grant_msg(src_id, dst);
+    return;
+  }
+  const FaultModel* fm = fault_model();
+  const bool dst_down = fm != nullptr && !fm->link_up(dst);
+  if (out.busy || dst_down) {
+    if (std::find(out.waiters.begin(), out.waiters.end(), src_id) ==
+        out.waiters.end()) {
+      out.waiters.push_back(src_id);
+      counters().counter("circuit_waits") += 1;
+    }
+    return;
+  }
+  grant_to(dst, src_id);
+}
+
+void CircuitNetwork::grant_to(NodeId out_id, NodeId src_id) {
+  OutputState& out = outputs_[out_id];
   out.busy = true;
+  if (control_faulty()) {
+    out.holder = src_id;
+    out.last_activity = sim_.now();
+    arm_lease(out_id);
+  }
   grant_circuit(src_id);
 }
 
 void CircuitNetwork::grant_circuit(NodeId src_id) {
   counters().counter("circuits_established") += 1;
+  if (control_faulty()) {
+    send_grant_msg(src_id, sources_[src_id].active.dst);
+    return;
+  }
   // 80 ns to schedule, 80 ns for the grant to reach the NIC.
   sim_.schedule_after(
       params_.scheduler_latency + params_.control_wire_latency(),
       [this, src_id] { transmit(src_id); });
+}
+
+void CircuitNetwork::send_request(NodeId src_id, NodeId dst, TimeNs latency) {
+  SourceState& src = sources_[src_id];
+  const bool scheduled = control_fault()->send(
+      CtrlMsg::kRequest, latency, [this, src_id, dst, ep = ctrl_epoch_] {
+        if (ep != ctrl_epoch_) {
+          counters().counter("ctrl_stale") += 1;
+          return;
+        }
+        SourceState& s = sources_[src_id];
+        if (s.pending_request > 0) {
+          --s.pending_request;
+        }
+        request_arrived_ctrl(src_id, dst);
+      });
+  if (scheduled) {
+    ++src.pending_request;
+  }
+}
+
+void CircuitNetwork::send_grant_msg(NodeId src_id, NodeId dst) {
+  SourceState& src = sources_[src_id];
+  const bool scheduled = control_fault()->send(
+      CtrlMsg::kGrant,
+      params_.scheduler_latency + params_.control_wire_latency(),
+      [this, src_id, dst, ep = ctrl_epoch_] {
+        if (ep != ctrl_epoch_) {
+          counters().counter("ctrl_stale") += 1;
+          return;
+        }
+        SourceState& s = sources_[src_id];
+        if (s.pending_grant > 0) {
+          --s.pending_grant;
+        }
+        grant_arrived(src_id, dst);
+      });
+  if (scheduled) {
+    ++src.pending_grant;
+  }
+}
+
+void CircuitNetwork::grant_arrived(NodeId src_id, NodeId dst) {
+  SourceState& src = sources_[src_id];
+  if (!src.waiting_grant || src.active.dst != dst) {
+    // A watchdog re-request raced the original grant: both eventually
+    // arrive, the second is a no-op.
+    counters().counter("duplicate_grants") += 1;
+    return;
+  }
+  src.waiting_grant = false;
+  src.attempts = 1;
+  if (src.watchdog != 0) {
+    sim_.cancel(src.watchdog);
+    src.watchdog = 0;
+  }
+  transmit(src_id);
+}
+
+void CircuitNetwork::arm_watchdog(NodeId src_id) {
+  SourceState& src = sources_[src_id];
+  src.watchdog = sim_.schedule_after(
+      control_fault()->watchdog_delay(src.attempts),
+      [this, src_id, ep = ctrl_epoch_] {
+        if (ep != ctrl_epoch_) {
+          return;
+        }
+        on_watchdog(src_id);
+      });
+}
+
+void CircuitNetwork::on_watchdog(NodeId src_id) {
+  SourceState& src = sources_[src_id];
+  src.watchdog = 0;
+  if (!src.waiting_grant) {
+    return;
+  }
+  // Neither a grant nor a wait-queue slot ever acknowledges a request, so
+  // the only safe read of silence is "lost": reissue with backoff. A
+  // duplicate of a parked request deduplicates at the scheduler.
+  ++src.attempts;
+  counters().counter("ctrl_rerequests") += 1;
+  send_request(src_id, src.active.dst, params_.control_wire_latency());
+  arm_watchdog(src_id);
+}
+
+void CircuitNetwork::arm_lease(NodeId out_id) {
+  ControlFaultModel* cf = control_fault();
+  if (!params_.ctrl.heal || cf->params().lease <= TimeNs::zero()) {
+    return;
+  }
+  OutputState& out = outputs_[out_id];
+  const std::uint64_t seq = ++out.lease_seq;
+  sim_.schedule_after(cf->params().lease, [this, out_id, seq] {
+    lease_check(out_id, seq);
+  });
+}
+
+void CircuitNetwork::lease_check(NodeId out_id, std::uint64_t seq) {
+  OutputState& out = outputs_[out_id];
+  if (seq != out.lease_seq || !out.busy) {
+    return;
+  }
+  ControlFaultModel* cf = control_fault();
+  const TimeNs lease = cf->params().lease;
+  if (out.holder.has_value()) {
+    const SourceState& h = sources_[*out.holder];
+    if ((h.busy && h.active.dst == out_id) || h.held_circuit == out_id) {
+      // The holder demonstrably still uses the pipe (mid-transfer, waiting
+      // for its grant, or holding with queued traffic): not idle.
+      out.last_activity = sim_.now();
+    }
+  }
+  const TimeNs expiry = out.last_activity + lease;
+  if (sim_.now() < expiry) {
+    sim_.schedule_after(expiry - sim_.now(), [this, out_id, seq] {
+      lease_check(out_id, seq);
+    });
+    return;
+  }
+  // The holder went silent past the lease: its teardown notice was lost.
+  // Reclaim the output and tell the holder its hold is void (that revoke
+  // itself crosses the lossy wire; the reuse guard covers its loss).
+  counters().counter("lease_expiries") += 1;
+  if (out.holder.has_value()) {
+    const NodeId holder = *out.holder;
+    cf->send(CtrlMsg::kGrant, params_.control_wire_latency(),
+             [this, holder, out_id, ep = ctrl_epoch_] {
+               if (ep != ctrl_epoch_) {
+                 return;
+               }
+               if (sources_[holder].held_circuit == out_id) {
+                 sources_[holder].held_circuit.reset();
+               }
+             });
+  }
+  free_output(out_id);
 }
 
 void CircuitNetwork::transmit(NodeId src_id) {
@@ -156,19 +359,59 @@ void CircuitNetwork::send_complete(NodeId src_id) {
       fm == nullptr || (fm->link_up(src_id) && fm->link_up(msg.dst));
   if (options_.hold_circuits && pipe_alive) {
     src.held_circuit = msg.dst;
+    if (control_faulty()) {
+      outputs_[msg.dst].last_activity = sim_.now();
+    }
   } else {
     // Teardown notice crosses the control wire; the output frees then.
-    const NodeId out = msg.dst;
-    sim_.schedule_after(params_.control_wire_latency(),
-                        [this, out] { release_output(out); });
+    schedule_release(msg.dst);
   }
   start_next_message(src_id);
 }
 
+void CircuitNetwork::schedule_release(NodeId out_id) {
+  ControlFaultModel* cf = control_fault();
+  if (cf == nullptr) {
+    sim_.schedule_after(params_.control_wire_latency(),
+                        [this, out_id] { release_output(out_id); });
+    return;
+  }
+  OutputState& out = outputs_[out_id];
+  const bool scheduled = cf->send(
+      CtrlMsg::kRelease, params_.control_wire_latency(),
+      [this, out_id, ep = ctrl_epoch_] {
+        if (ep != ctrl_epoch_) {
+          counters().counter("ctrl_stale") += 1;
+          return;
+        }
+        OutputState& o = outputs_[out_id];
+        if (o.pending_release > 0) {
+          --o.pending_release;
+        }
+        release_output(out_id);
+      });
+  if (scheduled) {
+    ++out.pending_release;
+  }
+}
+
 void CircuitNetwork::release_output(NodeId out_id) {
   OutputState& out = outputs_[out_id];
+  if (control_faulty() && !out.busy) {
+    // The lease (or a resync) already reclaimed this output; the delayed
+    // teardown notice is stale.
+    counters().counter("stale_releases") += 1;
+    return;
+  }
   PMX_CHECK(out.busy, "releasing an idle circuit output");
+  free_output(out_id);
+}
+
+void CircuitNetwork::free_output(NodeId out_id) {
+  OutputState& out = outputs_[out_id];
   out.busy = false;
+  out.holder.reset();
+  ++out.lease_seq;  // disarm any pending lease check
   if (const FaultModel* fm = fault_model();
       fm != nullptr && !fm->link_up(out_id)) {
     return;  // dead output: waiters stay parked until the repair event
@@ -176,8 +419,118 @@ void CircuitNetwork::release_output(NodeId out_id) {
   if (!out.waiters.empty()) {
     const NodeId next = out.waiters.front();
     out.waiters.pop_front();
+    grant_to(out_id, next);
+  }
+}
+
+void CircuitNetwork::audit_control(std::vector<std::string>& out) {
+  if (!control_faulty()) {
+    return;
+  }
+  const bool lease_armed =
+      params_.ctrl.heal && control_fault()->params().lease > TimeNs::zero();
+  for (NodeId o = 0; o < params_.num_nodes; ++o) {
+    const OutputState& os = outputs_[o];
+    if (!os.busy) {
+      continue;
+    }
+    bool claimed = false;
+    if (os.holder.has_value()) {
+      const SourceState& h = sources_[*os.holder];
+      claimed = (h.busy && h.active.dst == o) || h.held_circuit == o;
+    }
+    if (!claimed && os.pending_release == 0 && !lease_armed) {
+      // Leak: the output is allocated, no source claims it, no teardown is
+      // in flight, and no lease will ever reclaim it.
+      out.push_back("leaked circuit output " + std::to_string(o) +
+                    ": busy with no claiming source, release, or lease");
+    }
+  }
+  for (NodeId u = 0; u < params_.num_nodes; ++u) {
+    const SourceState& s = sources_[u];
+    if (!s.busy || !s.waiting_grant) {
+      continue;
+    }
+    const auto& waiters = outputs_[s.active.dst].waiters;
+    const bool parked =
+        std::find(waiters.begin(), waiters.end(), u) != waiters.end();
+    if (!parked && s.pending_request == 0 && s.pending_grant == 0 &&
+        s.watchdog == 0) {
+      // Wedge: the NIC waits for a grant, but no request or grant is in
+      // flight, it is not queued at the scheduler, and no watchdog will
+      // ever retry.
+      out.push_back("wedged circuit NIC " + std::to_string(u) + " -> " +
+                    std::to_string(s.active.dst) +
+                    ": waiting for a grant nothing can deliver");
+    }
+  }
+}
+
+void CircuitNetwork::resync_control() {
+  if (!control_faulty()) {
+    return;
+  }
+  // Out-of-band full state exchange: invalidate every in-flight control
+  // event, then rebuild the scheduler's output table from NIC ground truth.
+  ++ctrl_epoch_;
+  for (OutputState& out : outputs_) {
+    out.busy = false;
+    out.holder.reset();
+    out.waiters.clear();
+    out.pending_release = 0;
+    ++out.lease_seq;
+  }
+  for (SourceState& src : sources_) {
+    src.pending_request = 0;
+    src.pending_grant = 0;
+    src.attempts = 1;
+    if (src.watchdog != 0) {
+      sim_.cancel(src.watchdog);
+      src.watchdog = 0;
+    }
+  }
+  // Pass 1: transmitting sources (and live holds) truly own their outputs.
+  for (NodeId u = 0; u < params_.num_nodes; ++u) {
+    SourceState& src = sources_[u];
+    std::optional<NodeId> owned;
+    if (src.busy && !src.waiting_grant) {
+      owned = src.active.dst;
+    } else if (!src.busy && src.held_circuit.has_value()) {
+      owned = src.held_circuit;
+    }
+    if (!owned.has_value()) {
+      continue;
+    }
+    OutputState& out = outputs_[*owned];
+    if (out.busy) {
+      // Conflicting claims can only come from a stale hold.
+      counters().counter("stale_holds") += 1;
+      src.held_circuit.reset();
+      continue;
+    }
     out.busy = true;
-    grant_circuit(next);
+    out.holder = u;
+    out.last_activity = sim_.now();
+    arm_lease(*owned);
+  }
+  // Pass 2: re-play blocked requests at the scheduler in id order.
+  const FaultModel* fm = fault_model();
+  for (NodeId u = 0; u < params_.num_nodes; ++u) {
+    SourceState& src = sources_[u];
+    if (!src.busy || !src.waiting_grant) {
+      continue;
+    }
+    const NodeId dst = src.active.dst;
+    OutputState& out = outputs_[dst];
+    const bool dst_down = fm != nullptr && !fm->link_up(dst);
+    if (out.busy || dst_down) {
+      out.waiters.push_back(u);
+    } else {
+      grant_to(dst, u);
+    }
+    if (params_.ctrl.heal) {
+      arm_watchdog(u);
+    }
   }
 }
 

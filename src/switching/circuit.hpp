@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <vector>
@@ -37,6 +38,8 @@ class CircuitNetwork final : public Network {
 
  protected:
   void do_submit(const Message& msg) override;
+  void audit_control(std::vector<std::string>& out) override;
+  void resync_control() override;
 
  private:
   struct SourceState {
@@ -47,16 +50,36 @@ class CircuitNetwork final : public Network {
     std::optional<NodeId> held_circuit;
     /// Head message waits for this NIC's own dead cable to be repaired.
     bool waiting_repair = false;
+    // --- Lossy control channel only ---------------------------------------
+    /// Request sent, grant not yet received (the NIC is blocked on it).
+    bool waiting_grant = false;
+    std::size_t attempts = 1;            ///< watchdog backoff level
+    EventId watchdog = 0;                ///< 0 = unarmed
+    std::uint32_t pending_request = 0;   ///< request messages in flight
+    std::uint32_t pending_grant = 0;     ///< grant messages in flight
   };
 
   struct OutputState {
     bool busy = false;
     std::deque<NodeId> waiters;
+    // --- Lossy control channel only ---------------------------------------
+    /// Source the scheduler granted this output to (its lease subject).
+    std::optional<NodeId> holder;
+    TimeNs last_activity{};              ///< backs the idle-hold lease
+    std::uint64_t lease_seq = 0;         ///< invalidates stale lease checks
+    std::uint32_t pending_release = 0;   ///< release messages in flight
   };
 
   void start_next_message(NodeId src);
-  /// Request reaches the scheduler (after the control-wire delay).
+  /// Request reaches the scheduler (lossless control wire).
   void request_arrived(NodeId src);
+  /// Lossy-channel variant: `dst` is the destination the request was sent
+  /// for, so a delayed duplicate cannot grab an output the source no longer
+  /// wants.
+  void request_arrived_ctrl(NodeId src, NodeId dst);
+  /// Allocate output `out` to `src` (sets the holder/lease under the lossy
+  /// channel) and send the grant.
+  void grant_to(NodeId out, NodeId src);
   /// Scheduler granted the circuit; grant is on its way back to the NIC.
   void grant_circuit(NodeId src);
   /// Grant arrived; transmit the message over the dedicated pipe.
@@ -65,13 +88,30 @@ class CircuitNetwork final : public Network {
   void send_complete(NodeId src);
   /// Teardown notice reached the scheduler: free the port, serve waiters.
   void release_output(NodeId out);
+  /// Free the output and serve the next waiter (shared tail of release and
+  /// lease expiry).
+  void free_output(NodeId out);
+  /// Route a teardown notice over the (possibly lossy) control wire.
+  void schedule_release(NodeId out);
   /// Fault reaction: poison in-flight transfers, drop held circuits on the
   /// dead link, resume stalled sources/waiters on repair.
   void on_link_change(NodeId node, bool up);
 
+  // --- Lossy control channel only -----------------------------------------
+  void send_request(NodeId src, NodeId dst, TimeNs latency);
+  void send_grant_msg(NodeId src, NodeId dst);
+  void grant_arrived(NodeId src, NodeId dst);
+  void arm_watchdog(NodeId src);
+  void on_watchdog(NodeId src);
+  /// Arm (or re-arm) the idle-hold lease on output `out`.
+  void arm_lease(NodeId out);
+  void lease_check(NodeId out, std::uint64_t seq);
+
   Options options_;
   std::vector<SourceState> sources_;
   std::vector<OutputState> outputs_;
+  /// Bumped by resync_control(); in-flight control events go inert.
+  std::uint64_t ctrl_epoch_ = 0;
 };
 
 }  // namespace pmx

@@ -15,6 +15,47 @@ Network::Network(Simulator& sim, const SystemParams& params)
     fault_->subscribe(
         [this](NodeId node, bool up) { on_link_event(node, up); });
   }
+  if (params_.ctrl.enabled()) {
+    ctrl_ = std::make_unique<ControlFaultModel>(sim_, params_.ctrl,
+                                                params_.slot_length);
+  }
+  if (params_.audit.enabled) {
+    auditor_ = std::make_unique<SlotAuditor>(sim_, params_.audit,
+                                             params_.slot_length);
+    // The checks run at audit-tick time (as simulation events), long after
+    // the derived class finished constructing, so the virtual dispatch
+    // below resolves to the paradigm's overrides.
+    auditor_->add_check("conservation", [this](std::vector<std::string>& out) {
+      audit_conservation(out);
+    });
+    auditor_->add_check("control", [this](std::vector<std::string>& out) {
+      audit_control(out);
+    });
+    auditor_->set_resync([this] { resync_control(); });
+    auditor_->start();
+  }
+}
+
+void Network::audit_conservation(std::vector<std::string>& out) const {
+  const std::size_t delivered = records_.size();
+  const std::size_t submitted = submitted_count();
+  if (fault_ == nullptr) {
+    // Without the reliability layer in-flight messages are not tracked;
+    // delivered <= submitted is all that can be asserted.
+    if (delivered > submitted) {
+      out.push_back("delivered " + std::to_string(delivered) +
+                    " messages but only " + std::to_string(submitted) +
+                    " were submitted");
+    }
+    return;
+  }
+  if (delivered + dropped_ + outstanding_ != submitted) {
+    out.push_back("message conservation broken: delivered " +
+                  std::to_string(delivered) + " + dropped " +
+                  std::to_string(dropped_) + " + in-flight " +
+                  std::to_string(outstanding_) + " != submitted " +
+                  std::to_string(submitted));
+  }
 }
 
 Message Network::submit(NodeId src, NodeId dst, std::uint64_t bytes,

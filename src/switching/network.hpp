@@ -10,6 +10,8 @@
 
 #include "common/stats.hpp"
 #include "core/params.hpp"
+#include "core/slot_auditor.hpp"
+#include "fault/control_fault.hpp"
 #include "fault/fault_model.hpp"
 #include "nic/message.hpp"
 #include "sim/simulator.hpp"
@@ -112,6 +114,17 @@ class Network {
     return recoveries_;
   }
 
+  // --- Control-plane fault tolerance --------------------------------------
+  /// True when the lossy control channel is active.
+  [[nodiscard]] bool control_faulty() const { return ctrl_ != nullptr; }
+  [[nodiscard]] ControlFaultModel* control_fault() { return ctrl_.get(); }
+  [[nodiscard]] const ControlFaultModel* control_fault() const {
+    return ctrl_.get();
+  }
+  /// The periodic invariant auditor, when params.audit.enabled.
+  [[nodiscard]] SlotAuditor* auditor() { return auditor_.get(); }
+  [[nodiscard]] const SlotAuditor* auditor() const { return auditor_.get(); }
+
  protected:
   /// Paradigm-specific acceptance of a submitted message.
   virtual void do_submit(const Message& msg) = 0;
@@ -139,6 +152,14 @@ class Network {
   /// Called by paradigms when a link dies under an active transfer.
   void mark_poisoned(MessageId id);
 
+  /// Paradigm-specific control-plane audit: append one line per violated
+  /// invariant (leaked crosspoints, wedged NICs, scheduler parity). Runs as
+  /// an auditor check, i.e. at event time, never from the constructor.
+  virtual void audit_control(std::vector<std::string>& out) { (void)out; }
+  /// Paradigm-specific full NIC <-> scheduler state resync (auditor
+  /// recovery mode): rebuild the scheduler's view from NIC ground truth.
+  virtual void resync_control() {}
+
   Simulator& sim_;
   SystemParams params_;
   LinkModel link_;
@@ -156,6 +177,8 @@ class Network {
   void schedule_retransmit(const Message& msg, TimeNs extra_delay);
   void on_link_event(NodeId node, bool up);
   void note_recovery(const Message& msg);
+  /// Message conservation: injected == delivered + dropped + in-flight.
+  void audit_conservation(std::vector<std::string>& out) const;
 
   SendDoneFn send_done_;
   DeliveredFn delivered_;
@@ -167,6 +190,8 @@ class Network {
   CounterSet counters_;
 
   std::unique_ptr<FaultModel> fault_;
+  std::unique_ptr<ControlFaultModel> ctrl_;
+  std::unique_ptr<SlotAuditor> auditor_;
   std::unordered_map<MessageId, ArqState> arq_;
   std::unordered_set<MessageId> poisoned_;
   std::vector<RecoveryRecord> recoveries_;

@@ -36,9 +36,44 @@ PreloadTdmNetwork::PreloadTdmNetwork(Simulator& sim,
   PMX_CHECK(!plan_.phases.empty(), "compiled plan has no phases");
   config_sent_.assign(plan_.phases[0].configs.size(), 0);
   phase_unsettled_.assign(plan_.phases.size(), 0);
+  if (control_faulty()) {
+    ControlPlane::Options po;
+    po.num_nodes = params.num_nodes;
+    po.wire_latency = params.control_wire_latency();
+    // Configuration registers are preloaded directly (out of band); only
+    // the request/release wires are lossy, there is no grant reply to lose.
+    po.grant_line = false;
+    po.heal = params.ctrl.heal;
+    plane_ = std::make_unique<ControlPlane>(
+        sim, *control_fault(), po, counters(),
+        [this](NodeId u, NodeId v, bool value) { apply_request(u, v, value); });
+  }
   maybe_advance_phase();  // skips leading empty phases
   fill_free_slots();
   slot_clock_.start();
+}
+
+void PreloadTdmNetwork::apply_request(NodeId u, NodeId v, bool value) {
+  if (value) {
+    plane_->refresh_lease(u, v);
+  }
+  sched_.set_request(u, v, value);
+}
+
+void PreloadTdmNetwork::lease_scan() {
+  const BitMatrix& requests = sched_.requests();
+  std::vector<std::pair<NodeId, NodeId>> expired;
+  for (NodeId u = 0; u < params_.num_nodes; ++u) {
+    requests.row(u).for_each_set([&](std::size_t v) {
+      if (plane_->lease_expired(u, v)) {
+        expired.emplace_back(u, v);
+      }
+    });
+  }
+  for (const auto& [u, v] : expired) {
+    counters().counter("lease_expiries") += 1;
+    sched_.set_request(u, v, false);
+  }
 }
 
 std::uint64_t PreloadTdmNetwork::queued_bytes() const {
@@ -55,7 +90,11 @@ void PreloadTdmNetwork::do_submit(const Message& msg) {
                 PhasePlan::kNoConfig,
             "message pair missing from compiled plan");
   voqs_[msg.src].push(msg);
-  sched_.set_request(msg.src, msg.dst, true);
+  if (plane_) {
+    plane_->want(msg.src, msg.dst);
+  } else {
+    sched_.set_request(msg.src, msg.dst, true);
+  }
   if (fault_tolerant() && !retransmitting_) {
     ++phase_unsettled_[msg.phase];
   }
@@ -206,14 +245,25 @@ void PreloadTdmNetwork::on_slot_tick() {
         }
       }
       transmitted += sent;
+      if (plane_ && sent > 0) {
+        plane_->note_progress(u, v);
+        plane_->refresh_lease(u, v);
+      }
       if (voqs_[u].empty(v)) {
-        sched_.set_request(u, v, false);
+        if (plane_) {
+          plane_->unwant(u, v);
+        } else {
+          sched_.set_request(u, v, false);
+        }
       }
       if (cfg != PhasePlan::kNoConfig) {
         config_sent_[cfg] += sent;
       }
     }
     counters().counter("slot_bytes") += transmitted;
+  }
+  if (plane_) {
+    lease_scan();
   }
 
   // Retire drained configurations and hand their slots to pending ones.
@@ -255,6 +305,54 @@ void PreloadTdmNetwork::on_slot_tick() {
   }
 
   fill_free_slots();
+}
+
+void PreloadTdmNetwork::audit_control(std::vector<std::string>& out) {
+  sched_.audit_invariants(out);
+  if (!plane_) {
+    return;
+  }
+  const std::size_t n = params_.num_nodes;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v) {
+        continue;
+      }
+      const bool r = sched_.request(u, v);
+      const bool wants = plane_->wants(u, v);
+      if (r && !wants && !plane_->inflight(u, v) && !plane_->lease_active()) {
+        out.push_back("leaked request (" + std::to_string(u) + " -> " +
+                      std::to_string(v) +
+                      "): scheduler holds R for a NIC that dropped it");
+      }
+      if (wants && !r && !plane_->inflight(u, v) &&
+          !plane_->watchdog_armed(u, v)) {
+        // Wedge: with the request bit lost, skip-unrequested-slots rotation
+        // will never dwell on this pair's configuration.
+        out.push_back("wedged NIC (" + std::to_string(u) + " -> " +
+                      std::to_string(v) +
+                      "): intent raised but no request or watchdog pending");
+      }
+    }
+  }
+}
+
+void PreloadTdmNetwork::resync_control() {
+  if (!plane_) {
+    return;
+  }
+  plane_->begin_resync();
+  const std::size_t n = params_.num_nodes;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v) {
+        continue;
+      }
+      const bool truth = !voqs_[u].empty(v);
+      plane_->force_state(u, v, truth, false);
+      sched_.set_request(u, v, truth);
+    }
+  }
 }
 
 }  // namespace pmx

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "compiled/plan.hpp"
 #include "fabric/crossbar.hpp"
+#include "nic/control_plane.hpp"
 #include "nic/voq.hpp"
 #include "sched/tdm_scheduler.hpp"
 #include "sim/clock.hpp"
@@ -41,9 +43,17 @@ class PreloadTdmNetwork final : public Network {
   /// the copy has actually crossed the fabric.
   void do_retransmit(const Message& msg) override;
   void on_message_settled(const Message& msg) override;
+  void audit_control(std::vector<std::string>& out) override;
+  void resync_control() override;
 
  private:
   void on_slot_tick();
+  /// Scheduler-side arrival of a request/release message (lossy control
+  /// channel only). Configurations are preloaded directly, so R only feeds
+  /// the skip-unrequested-slots rotation -- there is no grant line.
+  void apply_request(NodeId u, NodeId v, bool value);
+  /// Clear request bits whose NIC went silent past the lease (lost release).
+  void lease_scan();
   /// Load pending configurations of the current phase into free slots.
   void fill_free_slots();
   /// True when every configuration of the current phase has drained.
@@ -54,6 +64,9 @@ class PreloadTdmNetwork final : public Network {
   TdmScheduler sched_;
   Crossbar xbar_;
   std::vector<VoqSet> voqs_;
+  /// Lossy request/release endpoints (no grant line); nullptr when the
+  /// control-fault layer is off.
+  std::unique_ptr<ControlPlane> plane_;
   CompiledPlan plan_;
 
   std::size_t phase_ = 0;

@@ -51,8 +51,53 @@ TdmNetwork::TdmNetwork(Simulator& sim, const SystemParams& params,
     }
     fm->subscribe([this](NodeId node, bool up) { on_link_change(node, up); });
   }
+  if (control_faulty()) {
+    ControlPlane::Options po;
+    po.num_nodes = params.num_nodes;
+    po.wire_latency = params.control_wire_latency();
+    po.grant_line = true;
+    po.heal = params.ctrl.heal;
+    plane_ = std::make_unique<ControlPlane>(
+        sim, *control_fault(), po, counters(),
+        [this](NodeId u, NodeId v, bool value) { apply_request(u, v, value); });
+  }
   slot_clock_.start();
   sl_clock_.start();
+}
+
+void TdmNetwork::apply_request(NodeId u, NodeId v, bool value) {
+  if (!value) {
+    sched_.set_request(u, v, false);
+    return;
+  }
+  plane_->refresh_lease(u, v);
+  sched_.set_request(u, v, true);
+  if (sched_.is_established(u, v)) {
+    // Duplicate request on a live connection (watchdog reissue after a lost
+    // grant): re-acknowledge so the NIC's granted-belief converges.
+    plane_->send_grant(u, v, true);
+  }
+}
+
+void TdmNetwork::lease_scan() {
+  const BitMatrix& requests = sched_.requests();
+  std::vector<std::pair<NodeId, NodeId>> expired;
+  for (NodeId u = 0; u < params_.num_nodes; ++u) {
+    requests.row(u).for_each_set([&](std::size_t v) {
+      if (plane_->lease_expired(u, v)) {
+        expired.emplace_back(u, v);
+      }
+    });
+  }
+  for (const auto& [u, v] : expired) {
+    // The NIC has been silent on (u, v) longer than the lease: its release
+    // message was lost. Drop the stale request bit (the next SL pass over
+    // the slot releases the connection) and tell the NIC; a NIC that still
+    // wants the pair re-requests on revoke arrival.
+    counters().counter("lease_expiries") += 1;
+    sched_.set_request(u, v, false);
+    plane_->send_grant(u, v, false);
+  }
 }
 
 void TdmNetwork::on_link_change(NodeId node, bool up) {
@@ -94,7 +139,11 @@ std::uint64_t TdmNetwork::queued_bytes() const {
 
 void TdmNetwork::do_submit(const Message& msg) {
   voqs_[msg.src].push(msg);
-  sched_.set_request(msg.src, msg.dst, true);
+  if (plane_) {
+    plane_->want(msg.src, msg.dst);
+  } else {
+    sched_.set_request(msg.src, msg.dst, true);
+  }
 }
 
 void TdmNetwork::on_slot_tick() {
@@ -116,6 +165,9 @@ void TdmNetwork::on_slot_tick() {
   xbar_.load(sched_.active_config());
   if (!slot) {
     counters().counter("idle_slots") += 1;
+    if (plane_) {
+      lease_scan();
+    }
     return;
   }
 
@@ -135,6 +187,13 @@ void TdmNetwork::on_slot_tick() {
     const NodeId v = *granted;
     if (voqs_[u].empty(v)) {
       counters().counter("idle_grants") += 1;
+      continue;
+    }
+    if (plane_ && !plane_->granted(u, v)) {
+      // The connection is live in the fabric but the grant reply has not
+      // reached (or was lost on the way to) NIC u: it will not drive data
+      // it does not know it may drive.
+      counters().counter("grant_stalls") += 1;
       continue;
     }
     std::uint64_t budget = params_.slot_payload_bytes();
@@ -168,13 +227,26 @@ void TdmNetwork::on_slot_tick() {
     if (rx_buffer_ > 0) {
       rx_occupancy_[v] += sent;
     }
+    if (plane_ && sent > 0) {
+      plane_->note_progress(u, v);
+      plane_->refresh_lease(u, v);
+    }
     predictor_->on_use(Conn{u, v}, slot_start);
     if (voqs_[u].empty(v)) {
-      sched_.set_request(u, v, false);
+      if (plane_) {
+        // The release crosses the lossy control channel; R[u][v] clears on
+        // arrival (or by lease expiry if the message is lost).
+        plane_->unwant(u, v);
+      } else {
+        sched_.set_request(u, v, false);
+      }
       if (predictor_->should_hold(Conn{u, v})) {
         sched_.hold(u, v);
       }
     }
+  }
+  if (plane_) {
+    lease_scan();
   }
 }
 
@@ -186,11 +258,81 @@ void TdmNetwork::on_sl_tick() {
     const auto pass = sched_.run_pass();
     for (const auto& [u, v] : pass.established_pairs) {
       predictor_->on_establish(Conn{u, v}, sim_.now());
+      if (plane_) {
+        plane_->refresh_lease(u, v);
+        plane_->send_grant(u, v, true);
+      }
     }
     for (const auto& [u, v] : pass.released_pairs) {
       // Defensive: a released connection must not stay latched.
       sched_.unhold(u, v);
       predictor_->on_release(Conn{u, v}, sim_.now());
+      if (plane_) {
+        plane_->send_grant(u, v, false);
+      }
+    }
+  }
+}
+
+void TdmNetwork::audit_control(std::vector<std::string>& out) {
+  sched_.audit_invariants(out);
+  if (!plane_) {
+    return;
+  }
+  const std::size_t n = params_.num_nodes;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v) {
+        continue;
+      }
+      const bool r = sched_.request(u, v);
+      const bool wants = plane_->wants(u, v);
+      if (r && !wants && !plane_->inflight(u, v) && !plane_->lease_active()) {
+        // Leak: the scheduler serves a request the NIC abandoned, no release
+        // is in flight, and no lease will ever reap it.
+        out.push_back("leaked request (" + std::to_string(u) + " -> " +
+                      std::to_string(v) +
+                      "): scheduler holds R for a NIC that dropped it");
+      }
+      if (wants && !r && !sched_.is_established(u, v) &&
+          !plane_->inflight(u, v) && !plane_->watchdog_armed(u, v)) {
+        // Wedge: the NIC waits for a connection the scheduler never heard
+        // of, and nothing (in-flight message or watchdog) can fix that.
+        out.push_back("wedged NIC (" + std::to_string(u) + " -> " +
+                      std::to_string(v) +
+                      "): intent raised but no request, grant, or watchdog "
+                      "pending");
+      }
+      if (wants && sched_.is_established(u, v) && !plane_->granted(u, v) &&
+          !plane_->inflight(u, v) && !plane_->watchdog_armed(u, v)) {
+        // Wedge: the connection is live but the grant reply was lost and
+        // nothing will ever re-deliver it -- the slot burns idle grants.
+        out.push_back("wedged NIC (" + std::to_string(u) + " -> " +
+                      std::to_string(v) +
+                      "): connection established but the grant was lost");
+      }
+    }
+  }
+}
+
+void TdmNetwork::resync_control() {
+  if (!plane_) {
+    return;
+  }
+  // Full out-of-band state exchange: both views are rebuilt from ground
+  // truth (the VOQ occupancy on the NIC side, B* on the scheduler side).
+  // Resync is lossless by construction -- it models a maintenance channel,
+  // not the lossy request/grant wires.
+  plane_->begin_resync();
+  const std::size_t n = params_.num_nodes;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v) {
+        continue;
+      }
+      const bool truth = !voqs_[u].empty(v);
+      plane_->force_state(u, v, truth, sched_.is_established(u, v));
+      sched_.set_request(u, v, truth);
     }
   }
 }

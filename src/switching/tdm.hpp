@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "fabric/crossbar.hpp"
+#include "nic/control_plane.hpp"
 #include "nic/voq.hpp"
 #include "predictor/predictor.hpp"
 #include "sched/tdm_scheduler.hpp"
@@ -76,15 +77,26 @@ class TdmNetwork : public Network {
 
  protected:
   void do_submit(const Message& msg) override;
+  void audit_control(std::vector<std::string>& out) override;
+  void resync_control() override;
 
  private:
   void on_slot_tick();
   void on_sl_tick();
   void on_link_change(NodeId node, bool up);
+  /// Scheduler-side arrival of a request (value) or release (!value)
+  /// message from NIC u for destination v (lossy control channel only).
+  void apply_request(NodeId u, NodeId v, bool value);
+  /// Lease sweep: clear request bits whose NIC has been silent longer than
+  /// the lease (the release message was lost) and revoke their grants.
+  void lease_scan();
 
   TdmScheduler sched_;
   Crossbar xbar_;
   std::vector<VoqSet> voqs_;
+  /// Lossy request/grant/release endpoints; nullptr when the control-fault
+  /// layer is off (requests then drive R as lossless wires, the seed model).
+  std::unique_ptr<ControlPlane> plane_;
   std::unique_ptr<Predictor> predictor_;
   Clock slot_clock_;
   Clock sl_clock_;

@@ -1,6 +1,7 @@
 #include "switching/wormhole.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/assert.hpp"
 
@@ -70,6 +71,37 @@ void WormholeNetwork::try_dispatch(NodeId src_id) {
     if (fm != nullptr && !fm->link_up(v)) {
       continue;  // output cable dead: keep the VOQ queued until repair
     }
+    if (ControlFaultModel* cf = control_fault()) {
+      // The head-flit arbitration request crosses the lossy control plane.
+      const auto verdict = cf->decide(CtrlMsg::kRequest);
+      if (verdict == ControlFaultModel::Verdict::kDelay) {
+        if (!src.retry_armed) {
+          src.retry_armed = true;
+          sim_.schedule_after(cf->params().delay, [this, src_id] {
+            sources_[src_id].retry_armed = false;
+            try_dispatch(src_id);
+          });
+        }
+        return;
+      }
+      if (verdict != ControlFaultModel::Verdict::kDeliver) {
+        // Lost (or corrupted) arbitration request: the arbiter never saw
+        // it, so no ports are reserved. Without healing the source stays
+        // idle until some other wake-up -- the wedge the auditor hunts.
+        if (params_.ctrl.heal && !src.retry_armed) {
+          src.retry_armed = true;
+          counters().counter("ctrl_rerequests") += 1;
+          const TimeNs delay = cf->watchdog_delay(src.attempts);
+          ++src.attempts;
+          sim_.schedule_after(delay, [this, src_id] {
+            sources_[src_id].retry_armed = false;
+            try_dispatch(src_id);
+          });
+        }
+        return;
+      }
+      src.attempts = 1;
+    }
     src.rr = (v + 1) % n;
     src.busy = true;
     src.active_dst = v;
@@ -126,6 +158,57 @@ void WormholeNetwork::worm_done(NodeId src_id, NodeId dst,
   }
   // Then the freed input picks its next worm (possibly another output).
   try_dispatch(src_id);
+}
+
+void WormholeNetwork::audit_control(std::vector<std::string>& out) {
+  if (!control_faulty()) {
+    return;
+  }
+  const FaultModel* fm = fault_model();
+  const std::size_t n = params_.num_nodes;
+  for (NodeId u = 0; u < n; ++u) {
+    SourceState& src = sources_[u];
+    if (src.busy || src.retry_armed || (fm != nullptr && !fm->link_up(u))) {
+      src.audit_stall = false;
+      continue;
+    }
+    bool dispatchable = false;
+    for (NodeId v = 0; v < n && !dispatchable; ++v) {
+      dispatchable = !src.voqs.empty(v) && !output_busy_[v] &&
+                     (fm == nullptr || fm->link_up(v));
+    }
+    if (!dispatchable) {
+      src.audit_stall = false;
+      continue;
+    }
+    // Idle with dispatchable traffic and no retry pending. Transient
+    // matching gaps resolve within one audit period, so only flag a source
+    // seen stalled on two consecutive audits.
+    if (src.audit_stall) {
+      out.push_back("wedged wormhole input " + std::to_string(u) +
+                    ": dispatchable traffic but no worm and no retry "
+                    "pending across two audits");
+    } else {
+      src.audit_stall = true;
+    }
+  }
+}
+
+void WormholeNetwork::resync_control() {
+  if (!control_faulty()) {
+    return;
+  }
+  for (SourceState& src : sources_) {
+    src.attempts = 1;
+    src.audit_stall = false;
+  }
+  // Re-run the matching for every idle input (in id order, the same order
+  // worm_done wake-ups use).
+  for (NodeId u = 0; u < params_.num_nodes; ++u) {
+    if (!sources_[u].busy && !sources_[u].retry_armed) {
+      try_dispatch(u);
+    }
+  }
 }
 
 }  // namespace pmx

@@ -35,10 +35,14 @@ class WormholeNetwork final : public Network {
 
  protected:
   void do_submit(const Message& msg) override;
+  void audit_control(std::vector<std::string>& out) override;
+  void resync_control() override;
 
  private:
   /// Try to dispatch one worm from input `src` (if idle) to any pending
-  /// destination with a free output port.
+  /// destination with a free output port. Under the lossy control channel
+  /// the head-flit arbitration request itself can be dropped or delayed;
+  /// a lost request is retried with backoff when healing is on.
   void try_dispatch(NodeId src);
   /// End-of-worm bookkeeping: release ports, finish messages, rematch.
   void worm_done(NodeId src, NodeId dst, std::uint64_t worm_bytes);
@@ -52,6 +56,12 @@ class WormholeNetwork final : public Network {
     std::size_t rr = 0;    ///< round-robin cursor over destinations
     NodeId active_dst = 0;      ///< destination of the in-flight worm
     MessageId active_msg = 0;   ///< message the in-flight worm belongs to
+    // --- Lossy control channel only ---------------------------------------
+    bool retry_armed = false;   ///< a dispatch retry event is pending
+    std::size_t attempts = 1;   ///< arbitration-retry backoff level
+    /// Audit debounce: was this source idle with dispatchable traffic at
+    /// the previous audit already?
+    bool audit_stall = false;
     explicit SourceState(std::size_t n) : voqs(n) {}
   };
 

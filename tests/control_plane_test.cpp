@@ -1,0 +1,159 @@
+// End-to-end control-plane hardening on the dynamic TDM paradigm: scripted
+// request/grant/release losses healed by the NIC watchdog and the scheduler
+// lease, strict-mode audits proving that leaks/wedges really happen when the
+// healing is off, and auditor-driven resync as the recovery of last resort.
+
+#include <gtest/gtest.h>
+
+#include "core/slot_auditor.hpp"
+#include "fault/control_fault.hpp"
+#include "sim/simulator.hpp"
+#include "switching/tdm.hpp"
+
+namespace pmx {
+namespace {
+
+using namespace pmx::literals;
+
+SystemParams ctrl_params(bool heal = true, bool audit = false,
+                         bool strict = false) {
+  SystemParams p;
+  p.num_nodes = 8;
+  p.mux_degree = 4;
+  p.ctrl.force_enable = true;  // all rates zero: faults are scripted
+  p.ctrl.heal = heal;
+  p.audit.enabled = audit;
+  p.audit.period_slots = 4;
+  p.audit.strict = strict;
+  return p;
+}
+
+TEST(ControlPlane, LosslessChannelDeliversWithoutRerequests) {
+  Simulator sim;
+  TdmNetwork net(sim, ctrl_params());
+  net.submit(0, 1, 64);
+  net.submit(2, 3, 256);
+  sim.run_until(100_us);
+  EXPECT_EQ(net.delivered_count(), 2u);
+  EXPECT_EQ(net.counters().value("ctrl_rerequests"), 0u);
+  EXPECT_EQ(net.counters().value("lease_expiries"), 0u);
+  EXPECT_EQ(net.control_fault()->total_dropped(), 0u);
+  EXPECT_GT(net.control_fault()->total_sent(), 0u);
+}
+
+TEST(ControlPlane, LostRequestHealedByWatchdogReissue) {
+  Simulator sim;
+  TdmNetwork net(sim, ctrl_params());
+  net.control_fault()->force_drop(CtrlMsg::kRequest, 1);
+  net.submit(0, 1, 64);
+  sim.run_until(100_us);
+  EXPECT_EQ(net.delivered_count(), 1u);
+  EXPECT_GE(net.counters().value("ctrl_rerequests"), 1u);
+  // The reissue costs at least one watchdog timeout before the scheduler
+  // even hears about the request.
+  EXPECT_GE(net.records()[0].delivered.ns(), 500);
+}
+
+TEST(ControlPlane, LostGrantHealedByWatchdogReissue) {
+  Simulator sim;
+  TdmNetwork net(sim, ctrl_params());
+  net.control_fault()->force_drop(CtrlMsg::kGrant, 1);
+  net.submit(0, 1, 64);
+  sim.run_until(100_us);
+  EXPECT_EQ(net.delivered_count(), 1u);
+  // The scheduler established the connection but the NIC never heard: it
+  // stalls through its slots until the watchdog re-request triggers a fresh
+  // grant.
+  EXPECT_GE(net.counters().value("grant_stalls"), 1u);
+  EXPECT_GE(net.counters().value("ctrl_rerequests"), 1u);
+}
+
+TEST(ControlPlane, LostReleaseHealedByLeaseExpiry) {
+  Simulator sim;
+  TdmNetwork net(sim, ctrl_params(/*heal=*/true, /*audit=*/true));
+  net.control_fault()->force_drop(CtrlMsg::kRelease, 1);
+  net.submit(0, 1, 64);
+  sim.run_until(100_us);
+  EXPECT_EQ(net.delivered_count(), 1u);
+  // The scheduler kept serving slots to a dead pair until the idle lease
+  // ran out, then reclaimed the hold on its own.
+  EXPECT_EQ(net.counters().value("lease_expiries"), 1u);
+  // After the expiry the views agree again: the periodic audit stays clean
+  // and no resync was ever needed.
+  net.auditor()->audit_now();
+  EXPECT_TRUE(net.auditor()->last_violations().empty());
+  EXPECT_EQ(net.auditor()->stats().resyncs, 0u);
+}
+
+TEST(ControlPlaneDeathTest, LostReleaseWithoutHealingLeaksTheHold) {
+  // Healing off + strict audit: the lost release leaves the scheduler
+  // serving a request no NIC wants, forever. The audit must catch it.
+  EXPECT_DEATH(
+      {
+        Simulator sim;
+        TdmNetwork net(sim, ctrl_params(/*heal=*/false, /*audit=*/true,
+                                        /*strict=*/true));
+        net.control_fault()->force_drop(CtrlMsg::kRelease, 1);
+        net.submit(0, 1, 64);
+        sim.run_until(100_us);
+      },
+      "slot audit failed");
+}
+
+TEST(ControlPlaneDeathTest, LostRequestWithoutHealingWedgesTheNic) {
+  // Healing off + strict audit: the lost request leaves the NIC waiting on
+  // a grant the scheduler will never send.
+  EXPECT_DEATH(
+      {
+        Simulator sim;
+        TdmNetwork net(sim, ctrl_params(/*heal=*/false, /*audit=*/true,
+                                        /*strict=*/true));
+        net.control_fault()->force_drop(CtrlMsg::kRequest, 1);
+        net.submit(0, 1, 64);
+        sim.run_until(100_us);
+      },
+      "slot audit failed");
+}
+
+TEST(ControlPlane, AuditorResyncRescuesWedgedNicWithoutHealing) {
+  Simulator sim;
+  TdmNetwork net(sim, ctrl_params(/*heal=*/false, /*audit=*/true));
+  net.control_fault()->force_drop(CtrlMsg::kRequest, 1);
+  net.submit(0, 1, 64);
+  sim.run_until(100_us);
+  // No watchdog, no lease -- only the auditor's full NIC <-> scheduler
+  // resync can rebuild the request matrix from VOQ ground truth.
+  EXPECT_EQ(net.delivered_count(), 1u);
+  EXPECT_GE(net.auditor()->stats().resyncs, 1u);
+  EXPECT_GE(net.auditor()->stats().recoveries, 1u);
+  net.auditor()->audit_now();
+  EXPECT_TRUE(net.auditor()->last_violations().empty());
+}
+
+TEST(ControlPlane, AuditorResyncRescuesLeakedHoldWithoutHealing) {
+  Simulator sim;
+  TdmNetwork net(sim, ctrl_params(/*heal=*/false, /*audit=*/true));
+  net.control_fault()->force_drop(CtrlMsg::kRelease, 1);
+  net.submit(0, 1, 64);
+  sim.run_until(100_us);
+  EXPECT_EQ(net.delivered_count(), 1u);
+  EXPECT_GE(net.auditor()->stats().resyncs, 1u);
+  net.auditor()->audit_now();
+  EXPECT_TRUE(net.auditor()->last_violations().empty());
+}
+
+TEST(ControlPlane, DelayedGrantIsNotMistakenForALostOne) {
+  Simulator sim;
+  SystemParams p = ctrl_params();
+  p.ctrl.delay = TimeNs{300};  // under the 500 ns watchdog timeout
+  TdmNetwork net(sim, p);
+  net.control_fault()->force_delay(CtrlMsg::kGrant, 1);
+  net.submit(0, 1, 64);
+  sim.run_until(100_us);
+  EXPECT_EQ(net.delivered_count(), 1u);
+  // The grant arrived late but before the watchdog fired: no reissue.
+  EXPECT_EQ(net.counters().value("ctrl_rerequests"), 0u);
+}
+
+}  // namespace
+}  // namespace pmx

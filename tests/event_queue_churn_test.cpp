@@ -136,5 +136,78 @@ TEST(EventQueueChurn, EmptyReflectsOnlyLiveEvents) {
   EXPECT_TRUE(q.empty());  // all cancelled, none should surface via pop
 }
 
+TEST(EventQueueChurn, PendingCancelChurnCompactsTheHeap) {
+  // The watchdog re-arm pattern: a long-lived far-future timer is pushed
+  // and cancelled over and over while still pending. Lazy cancellation
+  // alone would let the dead entries and their tombstones grow without
+  // bound; the compaction sweep must keep both proportional to the live
+  // set.
+  EventQueue q;
+  std::vector<EventId> live;
+  for (int i = 0; i < 100; ++i) {
+    live.push_back(q.push(TimeNs{1'000'000 + i}, [] {}));
+  }
+  for (int round = 0; round < 10'000; ++round) {
+    const EventId id = q.push(TimeNs{2'000'000 + round}, [] {});
+    q.cancel(id);  // cancelled while pending: a real tombstone
+  }
+  // 10k dead pushes against 100 live events: without compaction the heap
+  // would hold ~10100 entries. With it, dead entries are swept every time
+  // tombstones outnumber half the heap.
+  EXPECT_LT(q.size_including_cancelled(), 500u);
+  EXPECT_LT(q.tombstones(), 500u);
+  // Every live event is still there and drains in order.
+  std::size_t drained = 0;
+  while (!q.empty()) {
+    q.pop();
+    ++drained;
+  }
+  EXPECT_EQ(drained, live.size());
+}
+
+TEST(EventQueueChurn, CompactionPreservesOrderAndCancelSemantics) {
+  Rng rng(4321);
+  EventQueue q;
+  struct Model {
+    std::int64_t time;
+    std::uint64_t seq;
+    bool cancelled = false;
+  };
+  std::vector<Model> model;
+  std::vector<EventId> ids;
+  std::vector<std::uint64_t> fired;
+  std::uint64_t seq = 0;
+  // Heavy pending-cancel churn (70% cancel rate) to force many compaction
+  // sweeps, then drain and compare against the model.
+  for (int op = 0; op < 20'000; ++op) {
+    const auto t = static_cast<std::int64_t>(rng.below(100'000));
+    const std::uint64_t my_seq = seq++;
+    ids.push_back(q.push(TimeNs{t}, [&fired, my_seq] {
+      fired.push_back(my_seq);
+    }));
+    model.push_back({t, my_seq});
+    if (rng.chance(0.7)) {
+      const std::size_t pick = rng.below(ids.size());
+      q.cancel(ids[pick]);
+      model[pick].cancelled = true;
+    }
+  }
+  while (!q.empty()) {
+    q.pop().fn();
+  }
+  std::vector<std::uint64_t> expected;
+  for (const auto& m : model) {
+    if (!m.cancelled) {
+      expected.push_back(m.seq);
+    }
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [&model](std::uint64_t a, std::uint64_t b) {
+                     return model[a].time < model[b].time;
+                   });
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(q.tombstones(), 0u);
+}
+
 }  // namespace
 }  // namespace pmx

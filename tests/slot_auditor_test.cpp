@@ -1,0 +1,126 @@
+// Unit tests of the periodic slot-state auditor: period accounting, strict
+// vs recovery mode, resync hook invocation, and recovery-episode latency
+// bookkeeping.
+
+#include "core/slot_auditor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace pmx {
+namespace {
+
+using namespace pmx::literals;
+
+constexpr TimeNs kSlot{100};
+
+TEST(AuditParams, RejectsZeroPeriod) {
+  AuditParams p;
+  p.period_slots = 0;
+  EXPECT_DEATH(p.validate(), "at least one slot");
+}
+
+TEST(SlotAuditor, AuditsOncePerPeriod) {
+  Simulator sim;
+  AuditParams p;
+  p.enabled = true;
+  p.period_slots = 4;  // audit every 400 ns
+  SlotAuditor auditor(sim, p, kSlot);
+  auditor.add_check("noop", [](std::vector<std::string>&) {});
+  auditor.start();
+  sim.run_until(4'000_ns);
+  // First audit one period after start, then every period: 400, 800, ...
+  EXPECT_EQ(auditor.stats().audits, 10u);
+  EXPECT_EQ(auditor.stats().violations, 0u);
+  EXPECT_EQ(auditor.stats().resyncs, 0u);
+}
+
+TEST(SlotAuditor, ChecksRunInOrderAndViolationsArePrefixed) {
+  Simulator sim;
+  AuditParams p;
+  p.enabled = true;
+  SlotAuditor auditor(sim, p, kSlot);
+  auditor.add_check("first", [](std::vector<std::string>& out) {
+    out.push_back("alpha");
+  });
+  auditor.add_check("second", [](std::vector<std::string>& out) {
+    out.push_back("beta");
+  });
+  auditor.audit_now();
+  ASSERT_EQ(auditor.last_violations().size(), 2u);
+  EXPECT_EQ(auditor.last_violations()[0], "first: alpha");
+  EXPECT_EQ(auditor.last_violations()[1], "second: beta");
+  EXPECT_EQ(auditor.stats().violating_audits, 1u);
+  EXPECT_EQ(auditor.stats().violations, 2u);
+}
+
+TEST(SlotAuditor, RecoveryModeInvokesResyncPerViolatingAudit) {
+  Simulator sim;
+  AuditParams p;
+  p.enabled = true;
+  p.period_slots = 1;
+  SlotAuditor auditor(sim, p, kSlot);
+  bool broken = true;
+  auditor.add_check("state", [&broken](std::vector<std::string>& out) {
+    if (broken) {
+      out.push_back("divergence");
+    }
+  });
+  int resyncs = 0;
+  auditor.set_resync([&] {
+    // The second resync repairs the modeled divergence.
+    if (++resyncs == 2) {
+      broken = false;
+    }
+  });
+  auditor.start();
+  sim.run_until(1'000_ns);
+  EXPECT_EQ(resyncs, 2);
+  EXPECT_EQ(auditor.stats().resyncs, 2u);
+  EXPECT_EQ(auditor.stats().violating_audits, 2u);
+}
+
+TEST(SlotAuditor, RecoveryLatencySpansEpisodeFromFirstViolationToClean) {
+  Simulator sim;
+  AuditParams p;
+  p.enabled = true;
+  p.period_slots = 1;
+  SlotAuditor auditor(sim, p, kSlot);
+  bool broken = false;
+  auditor.add_check("state", [&broken](std::vector<std::string>& out) {
+    if (broken) {
+      out.push_back("divergence");
+    }
+  });
+  auditor.start();
+  // Break at 150 ns: audits at 200..500 violate, 600 onward are clean. The
+  // episode opens at the first violating audit (200) and closes at the
+  // first clean one (600): 400 ns.
+  sim.schedule_at(TimeNs{150}, [&] { broken = true; });
+  sim.schedule_at(TimeNs{550}, [&] { broken = false; });
+  sim.run_until(1'000_ns);
+  EXPECT_EQ(auditor.stats().recoveries, 1u);
+  EXPECT_EQ(auditor.stats().recovery_total, TimeNs{400});
+  EXPECT_EQ(auditor.stats().recovery_max, TimeNs{400});
+  EXPECT_EQ(auditor.stats().violating_audits, 4u);
+}
+
+TEST(SlotAuditorDeathTest, StrictModeAbortsOnFirstViolation) {
+  EXPECT_DEATH(
+      {
+        Simulator sim;
+        AuditParams p;
+        p.enabled = true;
+        p.strict = true;
+        SlotAuditor auditor(sim, p, kSlot);
+        auditor.add_check("state", [](std::vector<std::string>& out) {
+          out.push_back("leaked crosspoint");
+        });
+        auditor.audit_now();
+      },
+      "slot audit failed");
+}
+
+}  // namespace
+}  // namespace pmx
