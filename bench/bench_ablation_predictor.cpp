@@ -14,17 +14,6 @@
 #include "core/sweep.hpp"
 #include "traffic/patterns.hpp"
 
-namespace {
-
-struct PredictorSetup {
-  std::string label;
-  pmx::PredictorKind kind;
-  std::int64_t timeout_ns = 0;
-  std::uint64_t threshold = 0;
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
   std::size_t nodes = 64;
   std::uint64_t bytes = 256;
@@ -34,16 +23,14 @@ int main(int argc, char** argv) {
   const pmx::SweepOptions sweep{cfg.get_uint("jobs", 1)};
   cfg.fail_unread("bench_ablation_predictor");
 
-  const std::vector<PredictorSetup> predictors{
-      {"none", pmx::PredictorKind::kNone, 0, 0},
-      {"timeout-100", pmx::PredictorKind::kTimeout, 100, 0},
-      {"timeout-200", pmx::PredictorKind::kTimeout, 200, 0},
-      {"timeout-800", pmx::PredictorKind::kTimeout, 800, 0},
-      {"phase-200", pmx::PredictorKind::kPhase, 200, 0},
-      {"counter-64", pmx::PredictorKind::kCounter, 0, 64},
-      {"counter-512", pmx::PredictorKind::kCounter, 0, 512},
-      {"never-evict", pmx::PredictorKind::kNeverEvict, 0, 0},
-  };
+  // PolicySpec tokens; the row labels are the specs' labels, which match
+  // the pre-engine table ("timeout-100", "counter-64", ...) exactly.
+  std::vector<pmx::PolicySpec> predictors;
+  for (const char* token :
+       {"none", "timeout:100", "timeout:200", "timeout:800", "phase:200",
+        "counter:64", "counter:512", "never-evict"}) {
+    predictors.push_back(pmx::PolicySpec::parse(token));
+  }
 
   struct NamedWorkload {
     std::string name;
@@ -59,17 +46,10 @@ int main(int argc, char** argv) {
   const std::vector<pmx::RunResult> results = pmx::run_sweep(
       predictors.size() * per_predictor,
       [&](std::size_t i) {
-        const PredictorSetup& p = predictors[i / per_predictor];
         pmx::RunConfig config;
         config.params.num_nodes = nodes;
         config.kind = pmx::SwitchKind::kDynamicTdm;
-        config.predictor = p.kind;
-        if (p.timeout_ns > 0) {
-          config.predictor_timeout = pmx::TimeNs{p.timeout_ns};
-        }
-        if (p.threshold > 0) {
-          config.predictor_threshold = p.threshold;
-        }
+        config.policy = predictors[i / per_predictor];
         config.multi_slot_connections = true;
         return pmx::run_workload(config,
                                  workloads[i % per_predictor].workload);
@@ -85,7 +65,7 @@ int main(int argc, char** argv) {
   }
   pmx::Table table(std::move(headers));
   for (std::size_t p = 0; p < predictors.size(); ++p) {
-    std::vector<std::string> row{predictors[p].label};
+    std::vector<std::string> row{predictors[p].label()};
     for (std::size_t w = 0; w < workloads.size(); ++w) {
       const pmx::RunResult& result = results[p * per_predictor + w];
       row.push_back(result.completed

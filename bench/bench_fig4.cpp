@@ -4,9 +4,12 @@
 // TDM (K=4).
 //
 // Usage: bench_fig4 [--nodes N] [--csv] [--timeout NS] [--multislot|
-//        --no-multislot] [--counter-predictor] [--no-predictor] [--jobs J]
-//        [--seed S]
+//        --no-multislot] [--policy NAME[:PARAM]] [--counter-predictor]
+//        [--no-predictor] [--jobs J] [--seed S]
 // Unknown options abort with exit status 2.
+// --policy selects any PolicySpec policy (timeout, counter, lru, lfu-decay,
+// deadline, phase, hybrid, none, never-evict); the legacy
+// --counter-predictor/--no-predictor flags are shorthands.
 //
 // Every (pattern, size, paradigm) point is an independent simulation, so
 // the sweep fans out across --jobs threads; results are assembled in index
@@ -50,17 +53,15 @@ Workload make_two_phase(std::size_t nodes, std::uint64_t bytes) {
   return pmx::patterns::two_phase(nodes, bytes, g_seed);
 }
 
-std::int64_t g_timeout_ns = 200;
 bool g_multi_slot = true;
-pmx::PredictorKind g_predictor = pmx::PredictorKind::kTimeout;
+pmx::PolicySpec g_policy{};
 
 RunConfig config_for(SwitchKind kind, std::size_t nodes) {
   RunConfig config;
   config.params.num_nodes = nodes;
   config.params.mux_degree = 4;  // Figure 4: multiplexing degree of four
   config.kind = kind;
-  config.predictor = g_predictor;
-  config.predictor_timeout = pmx::TimeNs{g_timeout_ns};
+  config.policy = g_policy;
   config.multi_slot_connections = g_multi_slot;
   return config;
 }
@@ -71,16 +72,19 @@ int main(int argc, char** argv) {
   const pmx::Config cfg = pmx::Config::from_cli(argc, argv);
   const std::size_t nodes = cfg.get_uint("nodes", 128);
   const bool csv = cfg.get_bool("csv", false);
-  g_timeout_ns = cfg.get_int("timeout", g_timeout_ns);
   g_seed = cfg.get_uint("seed", g_seed);
   g_multi_slot = cfg.get_bool("multislot", g_multi_slot) &&
                  !cfg.get_bool("no-multislot", false);
+  std::string policy = cfg.get_string("policy", "timeout");
   if (cfg.get_bool("counter-predictor", false)) {
-    g_predictor = pmx::PredictorKind::kCounter;
+    policy = "counter";
   }
   if (cfg.get_bool("no-predictor", false)) {
-    g_predictor = pmx::PredictorKind::kNone;
+    policy = "none";
   }
+  g_policy = pmx::PolicySpec::parse(policy);
+  g_policy.timeout_ns = cfg.get_int("timeout", g_policy.timeout_ns);
+  g_policy.validate();
   const pmx::SweepOptions sweep{cfg.get_uint("jobs", 1)};
   cfg.fail_unread("bench_fig4");
 

@@ -75,8 +75,8 @@ int main(int argc, char** argv) {
         config.params.num_nodes = nodes;
         config.params.mux_degree = kMuxDegree;
         config.kind = pmx::SwitchKind::kDynamicTdm;
-        config.predictor = pmx::PredictorKind::kTimeout;
-        config.predictor_timeout = pmx::TimeNs{g_timeout_ns};
+        config.policy.policy = "timeout";
+        config.policy.timeout_ns = g_timeout_ns;
         config.multi_slot_connections = g_multi_slot;
         for (std::size_t j = 0; j < k; ++j) {
           config.pinned_configs.push_back(favored_config(nodes, j, kFavored));

@@ -58,16 +58,16 @@ int main(int argc, char** argv) {
 
   struct Setup {
     std::string label;
-    pmx::PredictorKind predictor;
+    std::string policy;
     bool flush;
   };
   const Setup setups[] = {
-      {"reactive (no predictor)", pmx::PredictorKind::kNone, false},
-      {"timeout predictor", pmx::PredictorKind::kTimeout, false},
-      {"timeout + compiler flush", pmx::PredictorKind::kTimeout, true},
-      {"phase predictor (self-flush)", pmx::PredictorKind::kPhase, false},
-      {"never-evict", pmx::PredictorKind::kNeverEvict, false},
-      {"never-evict + compiler flush", pmx::PredictorKind::kNeverEvict, true},
+      {"reactive (no predictor)", "none", false},
+      {"timeout predictor", "timeout", false},
+      {"timeout + compiler flush", "timeout", true},
+      {"phase predictor (self-flush)", "phase", false},
+      {"never-evict", "never-evict", false},
+      {"never-evict + compiler flush", "never-evict", true},
   };
 
   pmx::Table table({"scheme", "efficiency", "makespan(us)", "evictions",
@@ -76,8 +76,8 @@ int main(int argc, char** argv) {
     pmx::RunConfig config;
     config.params.num_nodes = nodes;
     config.kind = pmx::SwitchKind::kDynamicTdm;
-    config.predictor = setup.predictor;
-    config.predictor_timeout = pmx::TimeNs{400};
+    config.policy.policy = setup.policy;
+    config.policy.timeout_ns = 400;
     const pmx::Workload workload =
         phased_workload(nodes, bytes, setup.flush);
     const auto result = pmx::run_workload(config, workload);

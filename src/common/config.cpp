@@ -205,6 +205,24 @@ bool Config::get_bool(const std::string& key, bool fallback) const {
   bad_value(key, *value, "bool");
 }
 
+std::vector<std::string> Config::get_csv(
+    const std::string& key, const std::vector<std::string>& fallback) const {
+  const auto value = lookup(key);
+  if (!value) {
+    return fallback;
+  }
+  std::vector<std::string> items;
+  std::string item;
+  std::istringstream in(*value);
+  while (std::getline(in, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) {
+      items.push_back(item);
+    }
+  }
+  return items;
+}
+
 std::vector<std::string> Config::unread_keys() const {
   std::vector<std::string> keys;
   for (const auto& [key, was_read] : read_) {

@@ -42,6 +42,11 @@ class Config {
                                   double fallback) const;
   /// Accepts true/false/1/0/yes/no (case-sensitive).
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+  /// Comma-separated list (sweep axes, e.g. policies=timeout:200,lru:12).
+  /// Items are trimmed; empty items are dropped; an all-empty value yields
+  /// an empty list, an unset key yields `fallback`.
+  [[nodiscard]] std::vector<std::string> get_csv(
+      const std::string& key, const std::vector<std::string>& fallback) const;
 
   /// Keys that were set but never read through a getter -- catches typos in
   /// benchmark invocations.

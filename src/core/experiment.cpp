@@ -5,8 +5,7 @@
 #include "common/assert.hpp"
 #include "compiled/plan.hpp"
 #include "core/driver.hpp"
-#include "predictor/phase_predictor.hpp"
-#include "predictor/timeout_predictor.hpp"
+#include "predictor/policy_engine.hpp"
 #include "sim/simulator.hpp"
 #include "switching/circuit.hpp"
 #include "switching/preload_tdm.hpp"
@@ -29,22 +28,6 @@ std::string to_string(SwitchKind kind) {
   return "unknown";
 }
 
-std::string to_string(PredictorKind kind) {
-  switch (kind) {
-    case PredictorKind::kNone:
-      return "none";
-    case PredictorKind::kTimeout:
-      return "timeout";
-    case PredictorKind::kCounter:
-      return "counter";
-    case PredictorKind::kNeverEvict:
-      return "never-evict";
-    case PredictorKind::kPhase:
-      return "phase";
-  }
-  return "unknown";
-}
-
 std::uint64_t RunResult::counter(const std::string& name) const {
   for (const auto& [key, value] : counters) {
     if (key == name) {
@@ -55,23 +38,6 @@ std::uint64_t RunResult::counter(const std::string& name) const {
 }
 
 namespace {
-
-std::unique_ptr<Predictor> make_predictor(const RunConfig& config) {
-  switch (config.predictor) {
-    case PredictorKind::kNone:
-      return make_no_predictor();
-    case PredictorKind::kTimeout:
-      return make_timeout_predictor(config.predictor_timeout);
-    case PredictorKind::kCounter:
-      return make_counter_predictor(config.predictor_threshold);
-    case PredictorKind::kNeverEvict:
-      return make_never_evict_predictor();
-    case PredictorKind::kPhase:
-      return make_phase_predictor(config.predictor_timeout,
-                                  config.phase_epoch);
-  }
-  return make_no_predictor();
-}
 
 std::unique_ptr<Network> make_network(const RunConfig& config,
                                       const Workload& workload,
@@ -86,7 +52,7 @@ std::unique_ptr<Network> make_network(const RunConfig& config,
     }
     case SwitchKind::kDynamicTdm: {
       TdmNetwork::Options o;
-      o.predictor = make_predictor(config);
+      o.predictor = make_policy(config.policy);
       o.multi_slot_connections = config.multi_slot_connections;
       o.sl_units = config.sl_units;
       o.receiver_buffer_bytes = config.receiver_buffer_bytes;

@@ -8,6 +8,7 @@
 #include "core/driver.hpp"
 #include "core/metrics.hpp"
 #include "core/params.hpp"
+#include "predictor/rank_fn.hpp"
 #include "traffic/program.hpp"
 
 namespace pmx {
@@ -22,28 +23,16 @@ enum class SwitchKind : std::uint8_t {
 
 [[nodiscard]] std::string to_string(SwitchKind kind);
 
-/// Which eviction predictor to attach to a dynamic TDM network.
-enum class PredictorKind : std::uint8_t {
-  kNone,        ///< release as soon as the request drops
-  kTimeout,     ///< the paper's experimental predictor
-  kCounter,     ///< usage-counter alternative (Section 3.2)
-  kNeverEvict,  ///< keep everything latched
-  kPhase,       ///< timeout + working-set phase detection (Section 3.3)
-};
-
-[[nodiscard]] std::string to_string(PredictorKind kind);
-
 /// One simulated run's full configuration.
 struct RunConfig {
   SystemParams params{};
   SwitchKind kind = SwitchKind::kDynamicTdm;
   SendMode send_mode = SendMode::kEager;
 
-  // Dynamic-TDM knobs.
-  PredictorKind predictor = PredictorKind::kTimeout;
-  TimeNs predictor_timeout{200};  ///< 2 slots by default
-  std::uint64_t predictor_threshold = 8;
-  TimeNs phase_epoch{1000};  ///< working-set tracking epoch (kPhase)
+  // Dynamic-TDM knobs. The eviction policy (rank function + parameters) is
+  // a PolicySpec so any bench or example can sweep it straight from its
+  // Config/CLI (PolicySpec::from_config / PolicySpec::parse).
+  PolicySpec policy{};  ///< default: timeout, 200 ns (2 slots)
   bool multi_slot_connections = false;
   std::size_t sl_units = 1;  ///< parallel scheduling-logic copies (ext. 1)
   /// End-to-end flow control: receive-buffer bytes (0 = unlimited) and the

@@ -1,14 +1,14 @@
 #include "predictor/phase_predictor.hpp"
 
-namespace pmx {
+#include "predictor/policy_engine.hpp"
 
-PhasePredictor::PhasePredictor(TimeNs timeout, TimeNs epoch,
-                               double shift_threshold)
-    : timeout_(timeout), tracker_(epoch, shift_threshold) {}
+namespace pmx {
 
 std::unique_ptr<Predictor> make_phase_predictor(TimeNs timeout, TimeNs epoch,
                                                 double shift_threshold) {
-  return std::make_unique<PhasePredictor>(timeout, epoch, shift_threshold);
+  return std::make_unique<PolicyEngine>(
+      "phase", make_timeout_rank(timeout),
+      std::make_unique<WorkingSetTracker>(epoch, shift_threshold));
 }
 
 }  // namespace pmx

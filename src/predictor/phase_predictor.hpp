@@ -2,8 +2,7 @@
 
 #include <memory>
 
-#include "predictor/timeout_predictor.hpp"
-#include "predictor/working_set.hpp"
+#include "predictor/predictor.hpp"
 
 namespace pmx {
 
@@ -15,41 +14,9 @@ namespace pmx {
 /// phase), and the predictor recommends flushing every dynamically learned
 /// connection instead of letting the stale working set be evicted one
 /// time-out at a time.
-class PhasePredictor final : public Predictor {
- public:
-  PhasePredictor(TimeNs timeout, TimeNs epoch, double shift_threshold = 0.25);
-
-  [[nodiscard]] std::string name() const override { return "phase"; }
-  [[nodiscard]] bool should_hold(const Conn& c) const override {
-    return timeout_.should_hold(c);
-  }
-
-  void on_establish(const Conn& c, TimeNs now) override {
-    timeout_.on_establish(c, now);
-  }
-  void on_use(const Conn& c, TimeNs now) override {
-    timeout_.on_use(c, now);
-    tracker_.observe(c, now);
-  }
-  void on_release(const Conn& c, TimeNs now) override {
-    timeout_.on_release(c, now);
-  }
-  [[nodiscard]] std::vector<Conn> collect_evictions(TimeNs now) override {
-    return timeout_.collect_evictions(now);
-  }
-  void on_flush() override { timeout_.on_flush(); }
-
-  [[nodiscard]] bool recommend_flush(TimeNs now) override {
-    return tracker_.phase_shifted(now);
-  }
-
-  [[nodiscard]] const WorkingSetTracker& tracker() const { return tracker_; }
-
- private:
-  TimeoutPredictor timeout_;
-  WorkingSetTracker tracker_;
-};
-
+///
+/// Since the policy-engine refactor this is the timeout rank plus a
+/// WorkingSetTracker attached to the engine ("phase" policy).
 std::unique_ptr<Predictor> make_phase_predictor(TimeNs timeout, TimeNs epoch,
                                                 double shift_threshold = 0.25);
 

@@ -25,6 +25,9 @@ namespace pmx {
 /// should be dropped (unheld). should_hold() decides whether a connection is
 /// latched at all once the NIC's request signal goes away (Section 4,
 /// extension 3).
+///
+/// Every concrete policy is a rank function run by the PolicyEngine
+/// (policy_engine.hpp); this interface is what the network layer sees.
 class Predictor {
  public:
   virtual ~Predictor() = default;
@@ -54,37 +57,32 @@ class Predictor {
     (void)now;
     return false;
   }
-};
 
-/// No prediction: connections are never latched; they are released as soon
-/// as the request signal drops (pure reactive TDM).
-class NoPredictor final : public Predictor {
- public:
-  [[nodiscard]] std::string name() const override { return "none"; }
-  [[nodiscard]] bool should_hold(const Conn&) const override { return false; }
-  void on_establish(const Conn&, TimeNs) override {}
-  void on_use(const Conn&, TimeNs) override {}
-  void on_release(const Conn&, TimeNs) override {}
-  [[nodiscard]] std::vector<Conn> collect_evictions(TimeNs) override {
-    return {};
+  // --- Hold-latch mirroring (slot-auditor cross-check) --------------------
+  /// Notified right after the scheduler latches a hold on `c`. A predictor
+  /// that mirrors the hold set (mirrors_holds() == true) must keep its
+  /// mirror bit-identical to the scheduler's hold matrix: every unlatch
+  /// path (evict batch, release, fault force-release, flush) already has a
+  /// matching predictor callback. The slot auditor compares the two and
+  /// reports any divergence as a conservation violation.
+  virtual void on_hold(const Conn& c, TimeNs now) {
+    (void)c;
+    (void)now;
+  }
+  /// Does this predictor maintain a hold mirror the auditor may check?
+  [[nodiscard]] virtual bool mirrors_holds() const { return false; }
+  [[nodiscard]] virtual std::size_t held_count() const { return 0; }
+  [[nodiscard]] virtual bool believes_held(const Conn& c) const {
+    (void)c;
+    return false;
   }
 };
 
-/// Never evict: connections stay latched until the slot capacity forces
-/// conflicts. The degenerate upper bound on working-set size.
-class NeverEvictPredictor final : public Predictor {
- public:
-  [[nodiscard]] std::string name() const override { return "never-evict"; }
-  [[nodiscard]] bool should_hold(const Conn&) const override { return true; }
-  void on_establish(const Conn&, TimeNs) override {}
-  void on_use(const Conn&, TimeNs) override {}
-  void on_release(const Conn&, TimeNs) override {}
-  [[nodiscard]] std::vector<Conn> collect_evictions(TimeNs) override {
-    return {};
-  }
-};
-
+/// Pure reactive TDM: connections are never latched; they are released as
+/// soon as the request signal drops. (The "none" policy.)
 std::unique_ptr<Predictor> make_no_predictor();
+/// Hold everything forever: the degenerate upper bound on working-set
+/// size. (The "never-evict" policy.)
 std::unique_ptr<Predictor> make_never_evict_predictor();
 
 }  // namespace pmx

@@ -1,109 +1,25 @@
 #include "predictor/timeout_predictor.hpp"
 
-#include <algorithm>
-
-#include "common/assert.hpp"
-#include "predictor/predictor.hpp"
+#include "predictor/policy_engine.hpp"
 
 namespace pmx {
 
-namespace {
-
-// Eviction order feeds scheduler unhold calls and the eviction counter, so
-// it must not depend on unordered_map bucket order (which varies across
-// standard-library implementations). Normalize to (src, dst) order.
-void sort_evictions(std::vector<Conn>& evict) {
-  std::sort(evict.begin(), evict.end(), [](const Conn& a, const Conn& b) {
-    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
-  });
-}
-
-}  // namespace
-
 std::unique_ptr<Predictor> make_no_predictor() {
-  return std::make_unique<NoPredictor>();
+  return std::make_unique<PolicyEngine>("none", make_none_rank());
 }
 
 std::unique_ptr<Predictor> make_never_evict_predictor() {
-  return std::make_unique<NeverEvictPredictor>();
-}
-
-TimeoutPredictor::TimeoutPredictor(TimeNs timeout) : timeout_(timeout) {
-  PMX_CHECK(timeout_ > TimeNs::zero(), "timeout must be positive");
-}
-
-void TimeoutPredictor::on_establish(const Conn& c, TimeNs now) {
-  last_use_[c] = now;
-}
-
-void TimeoutPredictor::on_use(const Conn& c, TimeNs now) {
-  last_use_[c] = now;
-}
-
-void TimeoutPredictor::on_release(const Conn& c, TimeNs) {
-  last_use_.erase(c);
-}
-
-std::vector<Conn> TimeoutPredictor::collect_evictions(TimeNs now) {
-  std::vector<Conn> evict;
-  // Visit order is irrelevant: membership is decided per entry and the
-  // result is sorted below.
-  auto it = last_use_.begin();  // pmx-lint: allow(unordered-iter)
-  while (it != last_use_.end()) {
-    if (now - it->second >= timeout_) {
-      evict.push_back(it->first);
-      it = last_use_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  sort_evictions(evict);
-  return evict;
-}
-
-CounterPredictor::CounterPredictor(std::uint64_t threshold)
-    : threshold_(threshold) {
-  PMX_CHECK(threshold_ > 0, "threshold must be positive");
-}
-
-void CounterPredictor::on_establish(const Conn& c, TimeNs) {
-  last_use_epoch_[c] = epoch_;
-}
-
-void CounterPredictor::on_use(const Conn& c, TimeNs) {
-  // Using a connection ages every other one; with the epoch encoding that
-  // is a single increment plus resetting this connection's mark.
-  ++epoch_;
-  last_use_epoch_[c] = epoch_;
-}
-
-void CounterPredictor::on_release(const Conn& c, TimeNs) {
-  last_use_epoch_.erase(c);
-}
-
-std::vector<Conn> CounterPredictor::collect_evictions(TimeNs) {
-  std::vector<Conn> evict;
-  // Visit order is irrelevant: membership is decided per entry and the
-  // result is sorted below.
-  auto it = last_use_epoch_.begin();  // pmx-lint: allow(unordered-iter)
-  while (it != last_use_epoch_.end()) {
-    if (epoch_ - it->second >= threshold_) {
-      evict.push_back(it->first);
-      it = last_use_epoch_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  sort_evictions(evict);
-  return evict;
+  return std::make_unique<PolicyEngine>("never-evict",
+                                        make_never_evict_rank());
 }
 
 std::unique_ptr<Predictor> make_timeout_predictor(TimeNs timeout) {
-  return std::make_unique<TimeoutPredictor>(timeout);
+  return std::make_unique<PolicyEngine>("timeout", make_timeout_rank(timeout));
 }
 
 std::unique_ptr<Predictor> make_counter_predictor(std::uint64_t threshold) {
-  return std::make_unique<CounterPredictor>(threshold);
+  return std::make_unique<PolicyEngine>("counter",
+                                        make_counter_rank(threshold));
 }
 
 }  // namespace pmx

@@ -1,39 +1,17 @@
 #pragma once
 
-#include <unordered_map>
+#include <memory>
 
 #include "predictor/predictor.hpp"
 
 namespace pmx {
 
 /// The paper's experimental predictor: "a connection is removed if it is not
-/// used for a certain period of time" (Section 3.2).
-class TimeoutPredictor final : public Predictor {
- public:
-  explicit TimeoutPredictor(TimeNs timeout);
-
-  [[nodiscard]] std::string name() const override { return "timeout"; }
-  [[nodiscard]] bool should_hold(const Conn&) const override { return true; }
-
-  void on_establish(const Conn& c, TimeNs now) override;
-  void on_use(const Conn& c, TimeNs now) override;
-  void on_release(const Conn& c, TimeNs now) override;
-  [[nodiscard]] std::vector<Conn> collect_evictions(TimeNs now) override;
-  void on_flush() override { last_use_.clear(); }
-
-  [[nodiscard]] TimeNs timeout() const { return timeout_; }
-  [[nodiscard]] std::size_t tracked() const { return last_use_.size(); }
-
- private:
-  struct ConnHash {
-    std::size_t operator()(const Conn& c) const {
-      return c.src * 0x9E3779B9u + c.dst;
-    }
-  };
-
-  TimeNs timeout_;
-  std::unordered_map<Conn, TimeNs, ConnHash> last_use_;
-};
+/// used for a certain period of time" (Section 3.2). Since the policy-engine
+/// refactor this is a thin configuration of the PolicyEngine (the timeout
+/// rank encodes each entry's idle deadline; the horizon is the clock), kept
+/// as a named factory because it is the paper's headline policy.
+std::unique_ptr<Predictor> make_timeout_predictor(TimeNs timeout);
 
 /// The alternative predictor sketched in Section 3.2: each connection has a
 /// counter that resets to zero when the connection is used and increments
@@ -41,39 +19,10 @@ class TimeoutPredictor final : public Predictor {
 /// evicted. Unlike the timeout, a connection is not evicted during pure
 /// computation phases when nothing communicates.
 ///
-/// Implemented with a global use epoch (counter value = uses observed since
+/// Encoded with a global use epoch (counter value = uses observed since
 /// this connection's last use), which is O(1) per use instead of touching
 /// every tracked counter. `threshold` therefore counts *network-wide* uses,
 /// so it should scale with the number of active connections.
-class CounterPredictor final : public Predictor {
- public:
-  explicit CounterPredictor(std::uint64_t threshold);
-
-  [[nodiscard]] std::string name() const override { return "counter"; }
-  [[nodiscard]] bool should_hold(const Conn&) const override { return true; }
-
-  void on_establish(const Conn& c, TimeNs now) override;
-  void on_use(const Conn& c, TimeNs now) override;
-  void on_release(const Conn& c, TimeNs now) override;
-  [[nodiscard]] std::vector<Conn> collect_evictions(TimeNs now) override;
-  void on_flush() override { last_use_epoch_.clear(); }
-
-  [[nodiscard]] std::uint64_t threshold() const { return threshold_; }
-  [[nodiscard]] std::size_t tracked() const { return last_use_epoch_.size(); }
-
- private:
-  struct ConnHash {
-    std::size_t operator()(const Conn& c) const {
-      return c.src * 0x9E3779B9u + c.dst;
-    }
-  };
-
-  std::uint64_t threshold_;
-  std::uint64_t epoch_ = 0;  ///< total on_use events observed
-  std::unordered_map<Conn, std::uint64_t, ConnHash> last_use_epoch_;
-};
-
-std::unique_ptr<Predictor> make_timeout_predictor(TimeNs timeout);
 std::unique_ptr<Predictor> make_counter_predictor(std::uint64_t threshold);
 
 }  // namespace pmx

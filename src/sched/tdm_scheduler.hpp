@@ -96,6 +96,9 @@ class TdmScheduler {
   [[nodiscard]] bool held(std::size_t u, std::size_t v) const {
     return holds_.get(u, v);
   }
+  /// The full hold matrix (slot-auditor cross-check against the
+  /// predictor's hold mirror).
+  [[nodiscard]] const BitMatrix& holds() const { return holds_; }
 
   // --- Compiled communication (extension 5) ------------------------------
   /// Load a predefined configuration into `slot`. A pinned slot is excluded

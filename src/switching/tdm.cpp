@@ -242,6 +242,7 @@ void TdmNetwork::on_slot_tick() {
       }
       if (predictor_->should_hold(Conn{u, v})) {
         sched_.hold(u, v);
+        predictor_->on_hold(Conn{u, v}, slot_start);
       }
     }
   }
@@ -276,10 +277,34 @@ void TdmNetwork::on_sl_tick() {
 
 void TdmNetwork::audit_control(std::vector<std::string>& out) {
   sched_.audit_invariants(out);
+  const std::size_t n = params_.num_nodes;
+  if (predictor_->mirrors_holds()) {
+    // Hold conservation: the policy engine mirrors every hold latch, and
+    // every unlatch path notifies it, so the two hold sets must be
+    // bit-identical. Divergence means a policy-engine bookkeeping bug that
+    // would otherwise only show up as silent goodput loss.
+    std::size_t held = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      sched_.holds().row(u).for_each_set([&](std::size_t v) {
+        ++held;
+        if (!predictor_->believes_held(Conn{u, v})) {
+          out.push_back("hold divergence (" + std::to_string(u) + " -> " +
+                        std::to_string(v) +
+                        "): scheduler latched a hold the predictor's mirror "
+                        "does not have");
+        }
+      });
+    }
+    if (held != predictor_->held_count()) {
+      out.push_back("hold count divergence: scheduler latches " +
+                    std::to_string(held) + " holds, predictor '" +
+                    predictor_->name() + "' mirrors " +
+                    std::to_string(predictor_->held_count()));
+    }
+  }
   if (!plane_) {
     return;
   }
-  const std::size_t n = params_.num_nodes;
   for (NodeId u = 0; u < n; ++u) {
     for (NodeId v = 0; v < n; ++v) {
       if (u == v) {

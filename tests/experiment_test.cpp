@@ -189,7 +189,7 @@ TEST(Experiment, HorizonAbortsWedgedRun) {
   // horizon must bail out and report completed = false.
   const std::size_t n = 16;
   RunConfig config = config_for(SwitchKind::kDynamicTdm, n);
-  config.predictor = PredictorKind::kNeverEvict;
+  config.policy.policy = "never-evict";
   config.horizon = TimeNs{200'000};
   const Workload w = patterns::all_to_all(n, 64);
   const RunResult result = run_workload(config, w);
@@ -199,8 +199,8 @@ TEST(Experiment, HorizonAbortsWedgedRun) {
 TEST(Experiment, PhasePredictorRunsEndToEnd) {
   const std::size_t n = 16;
   RunConfig config = config_for(SwitchKind::kDynamicTdm, n);
-  config.predictor = PredictorKind::kPhase;
-  config.phase_epoch = TimeNs{500};
+  config.policy.policy = "phase";
+  config.policy.phase_epoch_ns = 500;
   const Workload w = patterns::two_phase(n, 64, 3);
   const RunResult result = run_workload(config, w);
   EXPECT_TRUE(result.completed);
@@ -252,10 +252,23 @@ TEST(Experiment, ToStringCoversAllKinds) {
   EXPECT_EQ(to_string(SwitchKind::kCircuit), "circuit");
   EXPECT_EQ(to_string(SwitchKind::kDynamicTdm), "dynamic-tdm");
   EXPECT_EQ(to_string(SwitchKind::kPreloadTdm), "preload-tdm");
-  EXPECT_EQ(to_string(PredictorKind::kNone), "none");
-  EXPECT_EQ(to_string(PredictorKind::kTimeout), "timeout");
-  EXPECT_EQ(to_string(PredictorKind::kCounter), "counter");
-  EXPECT_EQ(to_string(PredictorKind::kNeverEvict), "never-evict");
+}
+
+TEST(Experiment, PolicyIsSweepableConfig) {
+  // The predictor is selected by the PolicySpec config value; any policy
+  // name reachable from a config bag must run end to end.
+  const std::size_t n = 16;
+  const Workload w = patterns::random_mesh(n, 128, 1, 5);
+  for (const std::string& name : PolicySpec::known_policies()) {
+    if (name == "never-evict") {
+      continue;  // livelocks by design on saturating sets (tested above)
+    }
+    RunConfig config = config_for(SwitchKind::kDynamicTdm, n);
+    config.policy.policy = name;
+    const RunResult result = run_workload(config, w);
+    EXPECT_TRUE(result.completed) << name;
+    EXPECT_EQ(result.metrics.messages, w.num_messages()) << name;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,19 @@
+// Fixture: raw priority queues and <algorithm> heap primitives trip
+// raw-heap (rank ordering belongs in PolicyEngine, event ordering in
+// EventQueue).
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+std::priority_queue<int> shadow_scheduler;
+
+void heapify(std::vector<int>& v) {
+  std::make_heap(v.begin(), v.end());
+}
+
+int take_min(std::vector<int>& v) {
+  std::pop_heap(v.begin(), v.end());
+  const int top = v.back();
+  v.pop_back();
+  return top;
+}

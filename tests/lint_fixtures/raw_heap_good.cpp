@@ -1,0 +1,14 @@
+// Fixture: sorted containers and plain sorts must not trip raw-heap; a
+// push_heap mentioned only in this comment must not either.
+#include <algorithm>
+#include <vector>
+
+void order(std::vector<int>& v) {
+  std::sort(v.begin(), v.end());
+}
+
+int take_min(std::vector<int>& v) {
+  const int top = v.front();
+  v.erase(v.begin());
+  return top;
+}

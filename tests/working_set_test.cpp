@@ -80,24 +80,24 @@ TEST(WorkingSetTracker, EpochsCompletedAdvances) {
 }
 
 TEST(PhasePredictor, EvictsLikeTimeout) {
-  PhasePredictor p(100_ns, 1000_ns);
-  p.on_establish(Conn{0, 1}, 0_ns);
-  EXPECT_TRUE(p.should_hold(Conn{0, 1}));
-  EXPECT_TRUE(p.collect_evictions(50_ns).empty());
-  EXPECT_EQ(p.collect_evictions(150_ns).size(), 1u);
+  const auto p = make_phase_predictor(100_ns, 1000_ns);
+  p->on_establish(Conn{0, 1}, 0_ns);
+  EXPECT_TRUE(p->should_hold(Conn{0, 1}));
+  EXPECT_TRUE(p->collect_evictions(50_ns).empty());
+  EXPECT_EQ(p->collect_evictions(150_ns).size(), 1u);
 }
 
 TEST(PhasePredictor, RecommendsFlushOnWorkingSetShift) {
-  PhasePredictor p(10000_ns, 100_ns, 0.5);
+  const auto p = make_phase_predictor(10000_ns, 100_ns, 0.5);
   for (std::int64_t t = 0; t < 300; t += 10) {
-    p.on_use(Conn{0, 1}, TimeNs{t});
+    p->on_use(Conn{0, 1}, TimeNs{t});
   }
-  EXPECT_FALSE(p.recommend_flush(TimeNs{295}));
+  EXPECT_FALSE(p->recommend_flush(TimeNs{295}));
   for (std::int64_t t = 300; t < 600; t += 10) {
-    p.on_use(Conn{4, 5}, TimeNs{t});
+    p->on_use(Conn{4, 5}, TimeNs{t});
   }
-  EXPECT_TRUE(p.recommend_flush(TimeNs{600}));
-  EXPECT_FALSE(p.recommend_flush(TimeNs{600}));  // one-shot
+  EXPECT_TRUE(p->recommend_flush(TimeNs{600}));
+  EXPECT_FALSE(p->recommend_flush(TimeNs{600}));  // one-shot
 }
 
 TEST(PhasePredictor, FactoryProducesPhaseKind) {

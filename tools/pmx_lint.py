@@ -22,6 +22,14 @@ the source-level patterns that historically break that contract:
   raw-new        raw `new` / `delete` expressions. Ownership goes through
                  containers and smart pointers; raw allocation invites leaks
                  the ASan tier then has to chase.
+  raw-heap       std::priority_queue or the <algorithm> heap primitives
+                 (push_heap/pop_heap/make_heap/sort_heap/is_heap) anywhere
+                 outside src/predictor/policy_engine.* and
+                 src/sim/event_queue.*. Priority ordering is a determinism
+                 hot-spot (heaps are not stable); rank-ordered scheduling
+                 must go through the PolicyEngine and event ordering through
+                 the EventQueue, both of which carry total-order
+                 tie-breakers.
   include-guard  headers must open with `#pragma once`.
 
 Escape hatch: a finding on line N is suppressed by appending
@@ -56,6 +64,16 @@ EXCLUDED_PARTS = ("lint_fixtures",)
 # Files allowed to touch raw randomness primitives: the Rng wrapper itself.
 RAW_RAND_EXEMPT = ("src/common/rng.hpp", "src/common/rng.cpp")
 
+# The two sanctioned priority-queue cores: the policy engine (rank-ordered
+# eviction with a (rank, src, dst) total order) and the simulator's event
+# queue. Everything else must route priority ordering through them.
+RAW_HEAP_EXEMPT = (
+    "src/predictor/policy_engine.hpp",
+    "src/predictor/policy_engine.cpp",
+    "src/sim/event_queue.hpp",
+    "src/sim/event_queue.cpp",
+)
+
 # Analytic-model / statistics files where floating-point accumulation is the
 # point (latency closed forms, Welford stats, derived run metrics). Slot and
 # event accounting elsewhere must stay integral.
@@ -89,6 +107,12 @@ FLOAT_DECL_RE = re.compile(
 )
 COMPOUND_ASSIGN_RE = re.compile(r"(?:^|[^\w.])([A-Za-z_]\w*)\s*[+-]=")
 
+RAW_HEAP_RE = re.compile(
+    r"\b(?:std::)?priority_queue\s*<"
+    r"|\b(?:std::)?(?:push_heap|pop_heap|make_heap|sort_heap"
+    r"|is_heap(?:_until)?)\s*\("
+)
+
 NEW_RE = re.compile(r"(?<!\boperator )\bnew\b\s*(?:\(|[A-Za-z_:<])")
 DELETE_RE = re.compile(r"(?<!\boperator )(?<!=\s)(?<!= )\bdelete\b(?!\s*;)")
 
@@ -101,6 +125,9 @@ RULES = {
     "float-accum": "floating-point accumulation outside analytic-model "
     "whitelist; keep slot/latency accounting integral",
     "raw-new": "raw new/delete; use containers or smart pointers",
+    "raw-heap": "raw priority queue / heap primitive outside the sanctioned "
+    "cores; route rank ordering through PolicyEngine and event ordering "
+    "through EventQueue",
     "include-guard": "header does not start with #pragma once",
 }
 
@@ -293,6 +320,11 @@ def lint_file(path: Path, rel: str, rules: set[str]) -> list[Finding]:
         for idx, line in enumerate(code_lines, 1):
             if NEW_RE.search(line) or DELETE_RE.search(line):
                 emit(idx, "raw-new", RULES["raw-new"])
+
+    if "raw-heap" in rules and rel not in RAW_HEAP_EXEMPT:
+        for idx, line in enumerate(code_lines, 1):
+            if RAW_HEAP_RE.search(line):
+                emit(idx, "raw-heap", RULES["raw-heap"])
 
     if "include-guard" in rules and path.suffix == ".hpp":
         has_pragma = any(PRAGMA_ONCE_RE.match(line) for line in code_lines[:5])

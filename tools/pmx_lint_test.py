@@ -63,6 +63,12 @@ class RuleFixtures(unittest.TestCase):
         self.assert_rule("include_guard_bad.hpp", "include_guard_good.hpp",
                          "include-guard", 1)
 
+    def test_raw_heap(self):
+        # Three offending lines: the priority_queue declaration, make_heap,
+        # and pop_heap.
+        self.assert_rule("raw_heap_bad.cpp", "raw_heap_good.cpp",
+                         "raw-heap", 3)
+
 
 class AllowEscapeHatch(unittest.TestCase):
     def test_allow_suppresses_exactly_one_line(self):
@@ -92,6 +98,21 @@ class RawRandExemption(unittest.TestCase):
         rng = REPO_ROOT / "src" / "common" / "rng.cpp"
         self.assertEqual(
             pmx_lint.lint_file(rng, "src/common/rng.cpp", {"raw-rand"}), [])
+
+
+class RawHeapExemption(unittest.TestCase):
+    def test_sanctioned_heap_cores_are_exempt(self):
+        # The policy engine and the event queue ARE the sanctioned heaps;
+        # the same content under any other path must trip.
+        for rel in ("src/predictor/policy_engine.cpp",
+                    "src/sim/event_queue.hpp"):
+            path = REPO_ROOT / rel
+            self.assertEqual(
+                pmx_lint.lint_file(path, rel, {"raw-heap"}), [], rel)
+        engine = REPO_ROOT / "src" / "predictor" / "policy_engine.cpp"
+        findings = pmx_lint.lint_file(
+            engine, "src/predictor/engine_copy.cpp", {"raw-heap"})
+        self.assertGreater(len(findings), 0)
 
 
 class BaselineMode(unittest.TestCase):
