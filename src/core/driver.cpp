@@ -34,6 +34,14 @@ TrafficDriver::TrafficDriver(Simulator& sim, Network& network,
     release_barrier_if_drained();
     maybe_stop();
   });
+  // Shed messages resolve the same way (the handler fires synchronously
+  // from inside try_submit, which is safe: the submitting node is mid-send,
+  // so no barrier can be pending and no spurious release is possible).
+  network_.set_shed_handler([this](const Message&) {
+    ++shed_;
+    release_barrier_if_drained();
+    maybe_stop();
+  });
 }
 
 void TrafficDriver::start() {
@@ -51,10 +59,30 @@ void TrafficDriver::issue_next(NodeId u) {
     }
     const Command& cmd = workload_.programs[u][pc_[u]];
     switch (cmd.kind) {
-      case Command::Kind::kSend:
+      case Command::Kind::kSend: {
+        const auto outcome =
+            network_.try_submit(u, cmd.dst, cmd.bytes, phase_[u]);
+        if (outcome.status == Network::SubmitStatus::kBackpressure) {
+          // Closed-loop flow control: the NIC queue is full and refuses the
+          // message. The processor stalls one slot and retries without
+          // advancing its program counter; the stall time is the
+          // backpressure overload metric.
+          const TimeNs stall = network_.params().slot_length;
+          backpressure_stall_ += stall;
+          network_.counters().counter("backpressure_stall_ns") +=
+              static_cast<std::uint64_t>(stall.ns());
+          sim_.schedule_after(stall, [this, u] { issue_next(u); });
+          return;
+        }
         ++pc_[u];
         ++submitted_;
-        network_.submit(u, cmd.dst, cmd.bytes, phase_[u]);
+        if (outcome.status == Network::SubmitStatus::kShed) {
+          // The message was counted and immediately shed; no send-done will
+          // ever fire for it, so resume the node directly in either mode.
+          sim_.schedule_after(network_.params().nic_cycle,
+                              [this, u] { issue_next(u); });
+          return;
+        }
         if (mode_ == SendMode::kEager) {
           // One NIC cycle to hand the message to the output buffer, then
           // the processor moves on.
@@ -63,6 +91,7 @@ void TrafficDriver::issue_next(NodeId u) {
         }
         // kBlocking resumes from the send-done handler instead.
         return;
+      }
       case Command::Kind::kBarrier:
         reach_barrier(u);
         return;  // resume on barrier release
@@ -90,7 +119,7 @@ void TrafficDriver::reach_barrier(NodeId /*node*/) {
 }
 
 void TrafficDriver::release_barrier_if_drained() {
-  if (!barrier_pending_ || delivered_ + dropped_ != submitted_) {
+  if (!barrier_pending_ || delivered_ + dropped_ + shed_ != submitted_) {
     return;
   }
   barrier_pending_ = false;
@@ -108,7 +137,7 @@ void TrafficDriver::release_barrier_if_drained() {
 
 void TrafficDriver::maybe_stop() {
   if (!finished_ && nodes_done_ == workload_.num_nodes() &&
-      delivered_ + dropped_ == submitted_) {
+      delivered_ + dropped_ + shed_ == submitted_) {
     finished_ = true;
     sim_.stop();
   }

@@ -57,6 +57,7 @@ std::unique_ptr<Network> make_network(const RunConfig& config,
       o.sl_units = config.sl_units;
       o.receiver_buffer_bytes = config.receiver_buffer_bytes;
       o.receiver_drain_per_slot = config.receiver_drain_per_slot;
+      o.starvation_slots = config.starvation_slots;
       auto net = std::make_unique<TdmNetwork>(sim, config.params,
                                               std::move(o));
       PMX_CHECK(config.pinned_configs.size() <= config.params.mux_degree,

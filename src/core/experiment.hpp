@@ -39,6 +39,9 @@ struct RunConfig {
   /// per-slot drain rate of the receiving processor.
   std::uint64_t receiver_buffer_bytes = 0;
   std::uint64_t receiver_drain_per_slot = 64;
+  /// Starvation watchdog: flush learned schedule state after a source has
+  /// been stuck with queued traffic for this many slots. 0 = off.
+  std::size_t starvation_slots = 0;
 
   // Circuit knob.
   bool hold_circuits = false;

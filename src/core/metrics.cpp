@@ -42,6 +42,54 @@ void fill_fault_metrics(const Network& network, RunMetrics& m) {
   }
 }
 
+void fill_overload_metrics(const Network& network, RunMetrics& m) {
+  if (!network.admission_enabled()) {
+    return;
+  }
+  const CounterSet& c = network.counters();
+  m.shed_messages = network.shed_messages();
+  m.shed_bytes = network.shed_bytes();
+  m.shed_newest = static_cast<std::size_t>(c.value("shed_newest"));
+  m.shed_oldest = static_cast<std::size_t>(c.value("shed_oldest"));
+  m.shed_deadline = static_cast<std::size_t>(c.value("shed_deadline"));
+  m.shed_oversize = static_cast<std::size_t>(c.value("shed_oversize"));
+  m.backpressure_rejects =
+      static_cast<std::size_t>(c.value("backpressure_rejects"));
+  m.backpressure_stall_ns = c.value("backpressure_stall_ns");
+
+  // Offered/accepted load against aggregate per-port line rate over the
+  // submission window. A single-instant burst has no window; the ratios
+  // stay zero rather than divide by it.
+  const double rate =
+      static_cast<double>(network.params().link.bandwidth_dgbps) / 80.0;
+  const TimeNs window = network.last_submit() - network.first_submit();
+  if (window > TimeNs::zero() && network.submitted_count() > 0) {
+    const double capacity = static_cast<double>(window.ns()) * rate *
+                            static_cast<double>(network.params().num_nodes);
+    m.offered_load = static_cast<double>(network.submitted_bytes()) / capacity;
+    m.accepted_load =
+        static_cast<double>(network.submitted_bytes() - network.shed_bytes()) /
+        capacity;
+  }
+  if (network.submitted_count() > 0 && m.makespan > network.last_submit()) {
+    m.recovery_after_burst_ns =
+        static_cast<double>((m.makespan - network.last_submit()).ns());
+  }
+
+  std::vector<std::uint64_t> depths = network.depth_samples();
+  if (!depths.empty()) {
+    std::ranges::sort(depths);
+    m.queue_depth_max = depths.back();
+    m.queue_depth_p50 =
+        static_cast<double>(depths[(depths.size() - 1) / 2]);
+    const std::size_t p99_idx =
+        std::min(depths.size() - 1,
+                 static_cast<std::size_t>(0.99 * static_cast<double>(
+                                                     depths.size())));
+    m.queue_depth_p99 = static_cast<double>(depths[p99_idx]);
+  }
+}
+
 void fill_ctrl_metrics(const Network& network, RunMetrics& m) {
   const CounterSet& c = network.counters();
   if (const ControlFaultModel* cf = network.control_fault()) {
@@ -75,6 +123,7 @@ RunMetrics compute_metrics(const Workload& workload, const Network& network) {
   m.makespan = network.last_delivery();
   if (records.empty() || m.makespan <= TimeNs::zero()) {
     fill_fault_metrics(network, m);
+    fill_overload_metrics(network, m);
     fill_ctrl_metrics(network, m);
     return m;
   }
@@ -104,6 +153,7 @@ RunMetrics compute_metrics(const Workload& workload, const Network& network) {
                                                    latencies.size())));
   m.p99_latency_ns = latencies[p99_idx];
   fill_fault_metrics(network, m);
+  fill_overload_metrics(network, m);
   fill_ctrl_metrics(network, m);
   return m;
 }

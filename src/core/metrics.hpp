@@ -44,6 +44,31 @@ struct RunMetrics {
   double recovery_mean_ns = 0.0;
   double recovery_max_ns = 0.0;
 
+  // --- Overload metrics (zero when admission control is off) --------------
+  /// Injection pressure: submitted payload bytes per node-ns of submission
+  /// window, as a fraction of per-port line rate. > 1.0 means the sources
+  /// asked for more than the bisection can carry.
+  double offered_load = 0.0;
+  /// Same ratio for the traffic that was actually admitted (not shed).
+  double accepted_load = 0.0;
+  std::size_t shed_messages = 0;
+  std::uint64_t shed_bytes = 0;
+  std::size_t shed_newest = 0;    ///< tail/LIFO drops (incl. deadline misses
+                                  ///< that fell back to the newcomer)
+  std::size_t shed_oldest = 0;    ///< FIFO push-out drops
+  std::size_t shed_deadline = 0;  ///< expired-rank evictions
+  std::size_t shed_oversize = 0;  ///< larger than the whole queue budget
+  std::size_t backpressure_rejects = 0;
+  /// Processor time lost stalling on full NIC queues (kBackpressure only).
+  std::uint64_t backpressure_stall_ns = 0;
+  /// Source-queue occupancy (bytes) sampled at every admitted submission.
+  double queue_depth_p50 = 0.0;
+  double queue_depth_p99 = 0.0;
+  std::uint64_t queue_depth_max = 0;
+  /// Drain tail after the sources stop injecting: makespan minus the last
+  /// submission time (time to recover to an empty network after a burst).
+  double recovery_after_burst_ns = 0.0;
+
   // --- Control-plane metrics (zero when the control-fault layer is off) ---
   std::uint64_t ctrl_messages = 0;   ///< request/grant/release sends
   std::uint64_t ctrl_dropped = 0;

@@ -21,6 +21,7 @@ void SystemParams::validate() const {
   fault.validate(num_nodes);
   ctrl.validate(slot_length);
   audit.validate();
+  admission.validate();
 }
 
 }  // namespace pmx

@@ -8,6 +8,7 @@
 #include "fabric/link.hpp"
 #include "fault/control_fault.hpp"
 #include "fault/fault_model.hpp"
+#include "nic/admission.hpp"
 
 namespace pmx {
 
@@ -59,6 +60,12 @@ struct SystemParams {
   /// Periodic slot-state auditor (invariant checks, strict abort or
   /// resync recovery). Disabled by default.
   AuditParams audit{};
+
+  /// NIC-side admission control: per-source VOQ capacity and the policy
+  /// (backpressure / shed) applied at overflow. Capacities default to zero,
+  /// in which case no admission machinery runs and the system behaves
+  /// bit-identically to the unbounded design.
+  AdmissionParams admission{};
 
   [[nodiscard]] LinkModel link_model() const { return LinkModel{link}; }
 

@@ -6,13 +6,29 @@
 
 namespace pmx {
 
-VoqSet::VoqSet(std::size_t num_dests) : queues_(num_dests) {}
+VoqSet::VoqSet(std::size_t num_dests)
+    : queues_(num_dests), pending_(num_dests) {}
+
+void VoqSet::set_capacity(std::uint64_t max_bytes, std::size_t max_msgs) {
+  max_bytes_ = max_bytes;
+  max_msgs_ = max_msgs;
+}
+
+bool VoqSet::would_overflow(std::uint64_t bytes) const {
+  if (max_bytes_ > 0 && total_bytes_ + bytes > max_bytes_) {
+    return true;
+  }
+  return max_msgs_ > 0 && total_msgs_ + 1 > max_msgs_;
+}
 
 void VoqSet::push(const Message& msg) {
   PMX_CHECK(msg.dst < queues_.size(), "VOQ destination out of range");
   PMX_CHECK(msg.bytes > 0, "zero-byte message");
-  queues_[msg.dst].push_back(Entry{msg, msg.bytes});
+  queues_[msg.dst].push_back(  // pmx-lint: allow(unbounded-queue)
+      Entry{msg, msg.bytes});  // admission layer enforces would_overflow
+  pending_.set(msg.dst);
   total_bytes_ += msg.bytes;
+  peak_bytes_ = std::max(peak_bytes_, total_bytes_);
   ++total_msgs_;
 }
 
@@ -43,20 +59,64 @@ std::uint64_t VoqSet::consume(NodeId dst, std::uint64_t budget,
     }
     queues_[dst].pop_front();
     --total_msgs_;
+    if (queues_[dst].empty()) {
+      pending_.clear(dst);
+    }
   } else if (completed != nullptr) {
     *completed = Message{};  // sentinel: id 0, bytes 0
   }
   return taken;
 }
 
-std::vector<NodeId> VoqSet::pending_destinations() const {
-  std::vector<NodeId> dests;
-  for (NodeId d = 0; d < queues_.size(); ++d) {
-    if (!queues_[d].empty()) {
-      dests.push_back(d);
+std::optional<Message> VoqSet::evict(bool oldest, TimeNs cutoff,
+                                     std::optional<NodeId> protect_dst) {
+  NodeId best_dst = 0;
+  std::size_t best_pos = 0;
+  const Message* best = nullptr;
+  const auto better = [&](const Message& m) {
+    if (best == nullptr) {
+      return true;
     }
+    if (m.submit_time != best->submit_time) {
+      return oldest ? m.submit_time < best->submit_time
+                    : m.submit_time > best->submit_time;
+    }
+    return oldest ? m.id < best->id : m.id > best->id;
+  };
+  pending_.for_each_set([&](std::size_t d) {
+    const auto& q = queues_[d];
+    for (std::size_t pos = 0; pos < q.size(); ++pos) {
+      const Entry& e = q[pos];
+      if (pos == 0) {
+        // A partially-drained head (or the protected in-flight head) has
+        // bytes on the wire already; it must complete normally.
+        if (e.remaining != e.msg.bytes ||
+            (protect_dst.has_value() && *protect_dst == d)) {
+          continue;
+        }
+      }
+      if (e.msg.submit_time > cutoff) {
+        continue;
+      }
+      if (better(e.msg)) {
+        best = &e.msg;
+        best_dst = static_cast<NodeId>(d);
+        best_pos = pos;
+      }
+    }
+  });
+  if (best == nullptr) {
+    return std::nullopt;
   }
-  return dests;
+  const Message victim = *best;
+  auto& q = queues_[best_dst];
+  q.erase(q.begin() + static_cast<std::ptrdiff_t>(best_pos));
+  total_bytes_ -= victim.bytes;
+  --total_msgs_;
+  if (q.empty()) {
+    pending_.clear(best_dst);
+  }
+  return victim;
 }
 
 }  // namespace pmx

@@ -3,8 +3,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <vector>
 
+#include "common/bitvector.hpp"
 #include "nic/message.hpp"
 
 namespace pmx {
@@ -14,12 +16,28 @@ namespace pmx {
 /// fragmented across TDM slots.
 ///
 /// The request signal R_u that the NIC sends to the scheduler is exactly the
-/// non-empty bitmap of these queues.
+/// non-empty bitmap of these queues, exposed as the maintained `pending()`
+/// BitVector (no per-pass allocation).
+///
+/// Queues may be bounded: `set_capacity` arms a byte/message budget across
+/// all destinations and `would_overflow` is the explicit overflow verdict
+/// the NIC-side admission controller consults before push. The VoqSet never
+/// sheds on its own -- the admission layer decides, using the eviction
+/// helpers below to remove a victim.
 class VoqSet {
  public:
   explicit VoqSet(std::size_t num_dests);
 
   [[nodiscard]] std::size_t num_dests() const { return queues_.size(); }
+
+  /// Arm (or change) the capacity budget; 0 means unbounded on that axis.
+  void set_capacity(std::uint64_t max_bytes, std::size_t max_msgs);
+  [[nodiscard]] std::uint64_t capacity_bytes() const { return max_bytes_; }
+  [[nodiscard]] std::size_t capacity_msgs() const { return max_msgs_; }
+
+  /// Overflow verdict: would enqueueing `bytes` more (one more message)
+  /// exceed the armed capacity? Always false when unbounded.
+  [[nodiscard]] bool would_overflow(std::uint64_t bytes) const;
 
   /// Enqueue a message for its destination.
   void push(const Message& msg);
@@ -32,6 +50,9 @@ class VoqSet {
   [[nodiscard]] std::size_t total_depth() const;
   /// Total queued bytes (remaining, across all destinations).
   [[nodiscard]] std::uint64_t total_bytes() const;
+  /// High-water mark of total_bytes() over the VoqSet's lifetime (bounded-
+  /// occupancy assertions in the overload tests).
+  [[nodiscard]] std::uint64_t peak_bytes() const { return peak_bytes_; }
 
   /// Message at the head of queue `dst`. Precondition: !empty(dst).
   [[nodiscard]] const Message& head(NodeId dst) const;
@@ -43,8 +64,20 @@ class VoqSet {
   /// head message it is popped and `*completed` receives it.
   std::uint64_t consume(NodeId dst, std::uint64_t budget, Message* completed);
 
-  /// Destinations with pending traffic (the request vector R_u).
-  [[nodiscard]] std::vector<NodeId> pending_destinations() const;
+  /// Destinations with pending traffic: the request vector R_u, maintained
+  /// incrementally (bit d set iff !empty(d)). Scheduler passes iterate this
+  /// view directly instead of materializing a vector per pass.
+  [[nodiscard]] const BitVector& pending() const { return pending_; }
+
+  /// Remove and return the oldest (`oldest == true`) or youngest queued
+  /// message with submit_time <= cutoff, by (submit_time, id) order.
+  /// Only fully-unsent messages qualify: a partially-consumed head has
+  /// already moved bytes through the fabric and cannot be shed without
+  /// corrupting delivery accounting, and the head of `protect_dst` (an
+  /// in-flight worm's message) is never touched. Returns nullopt when no
+  /// queued message qualifies.
+  std::optional<Message> evict(bool oldest, TimeNs cutoff,
+                               std::optional<NodeId> protect_dst);
 
  private:
   struct Entry {
@@ -52,8 +85,12 @@ class VoqSet {
     std::uint64_t remaining;
   };
   std::vector<std::deque<Entry>> queues_;
+  BitVector pending_;
   std::uint64_t total_bytes_ = 0;
   std::size_t total_msgs_ = 0;
+  std::uint64_t peak_bytes_ = 0;
+  std::uint64_t max_bytes_ = 0;  ///< 0 = unbounded
+  std::size_t max_msgs_ = 0;     ///< 0 = unbounded
 };
 
 }  // namespace pmx

@@ -40,10 +40,22 @@ class CircuitNetwork final : public Network {
   void do_submit(const Message& msg) override;
   void audit_control(std::vector<std::string>& out) override;
   void resync_control() override;
+  [[nodiscard]] std::uint64_t source_queue_bytes(NodeId src) const override {
+    return sources_[src].fifo_bytes;
+  }
+  [[nodiscard]] std::size_t source_queue_msgs(NodeId src) const override {
+    return sources_[src].fifo.size();
+  }
+  /// Per-source FIFO order is submit order, so the oldest victim is the
+  /// front and the youngest the back; the active (in-service) message has
+  /// a circuit established or establishing for it and is never shed.
+  std::optional<Message> remove_shed_victim(NodeId src, bool oldest,
+                                            TimeNs cutoff) override;
 
  private:
   struct SourceState {
     std::deque<Message> fifo;
+    std::uint64_t fifo_bytes = 0;  ///< queued payload (excludes active)
     bool busy = false;
     Message active;
     /// Destination of a circuit this source still holds (hold_circuits).

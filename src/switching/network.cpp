@@ -41,29 +41,26 @@ void Network::audit_conservation(std::vector<std::string>& out) const {
   const std::size_t submitted = submitted_count();
   if (fault_ == nullptr) {
     // Without the reliability layer in-flight messages are not tracked;
-    // delivered <= submitted is all that can be asserted.
-    if (delivered > submitted) {
-      out.push_back("delivered " + std::to_string(delivered) +
-                    " messages but only " + std::to_string(submitted) +
-                    " were submitted");
+    // delivered + shed <= submitted is all that can be asserted.
+    if (delivered + shed_ > submitted) {
+      out.push_back("delivered " + std::to_string(delivered) + " + shed " +
+                    std::to_string(shed_) + " messages but only " +
+                    std::to_string(submitted) + " were submitted");
     }
     return;
   }
-  if (delivered + dropped_ + outstanding_ != submitted) {
+  if (delivered + dropped_ + shed_ + outstanding_ != submitted) {
     out.push_back("message conservation broken: delivered " +
                   std::to_string(delivered) + " + dropped " +
-                  std::to_string(dropped_) + " + in-flight " +
+                  std::to_string(dropped_) + " + shed " +
+                  std::to_string(shed_) + " + in-flight " +
                   std::to_string(outstanding_) + " != submitted " +
                   std::to_string(submitted));
   }
 }
 
-Message Network::submit(NodeId src, NodeId dst, std::uint64_t bytes,
-                        std::size_t phase) {
-  PMX_CHECK(src < params_.num_nodes && dst < params_.num_nodes,
-            "node id out of range");
-  PMX_CHECK(src != dst, "self-send is not routed through the fabric");
-  PMX_CHECK(bytes > 0, "empty message");
+Message Network::make_message(NodeId src, NodeId dst, std::uint64_t bytes,
+                              std::size_t phase) {
   Message msg;
   msg.id = next_id_++;
   msg.src = src;
@@ -72,12 +69,130 @@ Message Network::submit(NodeId src, NodeId dst, std::uint64_t bytes,
   msg.submit_time = sim_.now();
   msg.phase = phase;
   counters_.counter("submitted") += 1;
+  submitted_bytes_ += bytes;
+  if (submitted_count() == 1) {
+    first_submit_ = msg.submit_time;
+  }
+  last_submit_ = msg.submit_time;
+  return msg;
+}
+
+void Network::settle_shed(const Message& msg, bool was_queued,
+                          const char* tag) {
+  counters_.counter("shed_messages") += 1;
+  counters_.counter(tag) += 1;
+  ++shed_;
+  shed_bytes_ += msg.bytes;
+  if (fault_ && was_queued) {
+    // The victim had ARQ state from its own admission; it leaves the
+    // reliability machine without ever touching the wire.
+    arq_.erase(msg.id);
+    --outstanding_;
+  }
+  on_message_shed(msg);
+  if (fault_ && was_queued) {
+    on_message_settled(msg);
+  }
+  if (shed_fn_) {
+    // Synchronous on purpose: the driver must observe the resolution
+    // before deciding whether a pending barrier can release.
+    shed_fn_(msg);
+  }
+}
+
+Network::SubmitOutcome Network::try_submit(NodeId src, NodeId dst,
+                                           std::uint64_t bytes,
+                                           std::size_t phase) {
+  PMX_CHECK(src < params_.num_nodes && dst < params_.num_nodes,
+            "node id out of range");
+  PMX_CHECK(src != dst, "self-send is not routed through the fabric");
+  PMX_CHECK(bytes > 0, "empty message");
+  const AdmissionParams& adm = params_.admission;
+  if (adm.enabled()) {
+    // A message larger than the whole byte budget can never be admitted;
+    // evicting the entire queue for it would be pointless, so it is shed
+    // outright under every policy.
+    const bool oversize = adm.capacity_bytes > 0 && bytes > adm.capacity_bytes;
+    const auto overflowing = [&] {
+      if (adm.capacity_bytes > 0 &&
+          source_queue_bytes(src) + bytes > adm.capacity_bytes) {
+        return true;
+      }
+      return adm.capacity_msgs > 0 &&
+             source_queue_msgs(src) + 1 > adm.capacity_msgs;
+    };
+    if (oversize) {
+      const Message msg = make_message(src, dst, bytes, phase);
+      settle_shed(msg, false, "shed_oversize");
+      return {SubmitStatus::kShed, msg};
+    }
+    if (overflowing()) {
+      switch (adm.policy) {
+        case ShedPolicy::kBackpressure:
+          // Closed-loop: nothing enters, no id is consumed; the caller
+          // stalls and retries. The stall time is accounted driver-side.
+          counters_.counter("backpressure_rejects") += 1;
+          return {SubmitStatus::kBackpressure, Message{}};
+        case ShedPolicy::kDropOldest:
+          while (overflowing()) {
+            auto victim = remove_shed_victim(src, true, TimeNs::never());
+            if (!victim.has_value()) {
+              break;  // everything queued is in flight: shed the newcomer
+            }
+            settle_shed(*victim, true, "shed_oldest");
+          }
+          break;
+        case ShedPolicy::kDropNewest:
+          while (overflowing()) {
+            auto victim = remove_shed_victim(src, false, TimeNs::never());
+            if (!victim.has_value()) {
+              break;
+            }
+            settle_shed(*victim, true, "shed_newest");
+          }
+          break;
+        case ShedPolicy::kDeadline: {
+          // Only messages whose deadline rank has expired may be evicted
+          // (rank = submit_time + deadline, expired when rank <= now --
+          // the same integer-rank encoding the PolicyEngine uses).
+          const TimeNs cutoff = sim_.now() - adm.deadline;
+          while (overflowing()) {
+            auto victim = remove_shed_victim(src, true, cutoff);
+            if (!victim.has_value()) {
+              break;  // nothing expired: the newcomer is shed instead
+            }
+            settle_shed(*victim, true, "shed_deadline");
+          }
+          break;
+        }
+        case ShedPolicy::kTailDrop:
+          break;  // the newcomer is the victim
+      }
+      if (overflowing()) {
+        const Message msg = make_message(src, dst, bytes, phase);
+        settle_shed(msg, false, "shed_newest");
+        return {SubmitStatus::kShed, msg};
+      }
+    }
+  }
+  const Message msg = make_message(src, dst, bytes, phase);
   if (fault_) {
     arq_.emplace(msg.id, ArqState{});
     ++outstanding_;
   }
   do_submit(msg);
-  return msg;
+  if (adm.enabled()) {
+    depth_samples_.push_back(source_queue_bytes(src));
+  }
+  return {SubmitStatus::kAccepted, msg};
+}
+
+Message Network::submit(NodeId src, NodeId dst, std::uint64_t bytes,
+                        std::size_t phase) {
+  const SubmitOutcome out = try_submit(src, dst, bytes, phase);
+  PMX_CHECK(out.status != SubmitStatus::kBackpressure,
+            "submit() refused by backpressure admission; use try_submit()");
+  return out.msg;
 }
 
 void Network::notify_send_done(const Message& msg, TimeNs when) {

@@ -56,6 +56,22 @@ class Network {
   /// retry budget (fault layer only). Progress accounting must treat the
   /// message as resolved or a dead link would hang the run forever.
   using DroppedFn = std::function<void(const Message&)>;
+  /// Invoked synchronously when the admission controller sheds a message
+  /// (overflow verdict at submit, or a queued victim pushed out to make
+  /// room). Like drops, shed messages count as resolved for progress
+  /// accounting -- overload can never wedge a run.
+  using ShedFn = std::function<void(const Message&)>;
+
+  /// Admission verdict of try_submit().
+  enum class SubmitStatus : std::uint8_t {
+    kAccepted,      ///< message entered the source NIC's queues
+    kShed,          ///< message was counted as submitted, then shed
+    kBackpressure,  ///< queue full, nothing submitted: retry later
+  };
+  struct SubmitOutcome {
+    SubmitStatus status = SubmitStatus::kAccepted;
+    Message msg{};  ///< valid unless status == kBackpressure
+  };
 
   Network(Simulator& sim, const SystemParams& params);
   virtual ~Network() = default;
@@ -65,7 +81,13 @@ class Network {
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Hand a message to the source NIC. Submission is the only entry point;
-  /// timestamping happens here.
+  /// timestamping happens here. With admission control armed the message
+  /// may be shed (the outcome says so); under the backpressure policy a
+  /// full queue refuses the submission entirely and the caller must retry.
+  SubmitOutcome try_submit(NodeId src, NodeId dst, std::uint64_t bytes,
+                           std::size_t phase = 0);
+  /// try_submit for callers that cannot handle backpressure (tests, closed
+  /// workloads): aborts if the submission was refused.
   Message submit(NodeId src, NodeId dst, std::uint64_t bytes,
                  std::size_t phase = 0);
 
@@ -76,6 +98,7 @@ class Network {
   void set_send_done_handler(SendDoneFn fn) { send_done_ = std::move(fn); }
   void set_delivered_handler(DeliveredFn fn) { delivered_ = std::move(fn); }
   void set_dropped_handler(DroppedFn fn) { dropped_fn_ = std::move(fn); }
+  void set_shed_handler(ShedFn fn) { shed_fn_ = std::move(fn); }
 
   [[nodiscard]] const std::vector<MessageRecord>& records() const {
     return records_;
@@ -89,6 +112,28 @@ class Network {
   }
   /// Time the last record was delivered (zero when nothing delivered).
   [[nodiscard]] TimeNs last_delivery() const { return last_delivery_; }
+
+  // --- Admission control / overload ---------------------------------------
+  /// True when the admission controller (bounded VOQs) is armed.
+  [[nodiscard]] bool admission_enabled() const {
+    return params_.admission.enabled();
+  }
+  /// Messages shed by the admission controller (counted as submitted).
+  [[nodiscard]] std::size_t shed_messages() const { return shed_; }
+  [[nodiscard]] std::uint64_t shed_bytes() const { return shed_bytes_; }
+  /// Total payload bytes ever submitted (including shed messages).
+  [[nodiscard]] std::uint64_t submitted_bytes() const {
+    return submitted_bytes_;
+  }
+  /// Submission window, for offered-load accounting. Zero-valued when
+  /// nothing was submitted.
+  [[nodiscard]] TimeNs first_submit() const { return first_submit_; }
+  [[nodiscard]] TimeNs last_submit() const { return last_submit_; }
+  /// Source-queue depth (bytes) sampled at every admitted submission.
+  /// Only collected while admission control is armed.
+  [[nodiscard]] const std::vector<std::uint64_t>& depth_samples() const {
+    return depth_samples_;
+  }
 
   [[nodiscard]] const SystemParams& params() const { return params_; }
   [[nodiscard]] CounterSet& counters() { return counters_; }
@@ -160,6 +205,32 @@ class Network {
   /// recovery mode): rebuild the scheduler's view from NIC ground truth.
   virtual void resync_control() {}
 
+  // --- Admission hooks (overridden by paradigms with bounded queues) ------
+  /// Bytes currently queued at the source NIC awaiting transmission.
+  [[nodiscard]] virtual std::uint64_t source_queue_bytes(NodeId src) const {
+    (void)src;
+    return 0;
+  }
+  /// Messages currently queued at the source NIC.
+  [[nodiscard]] virtual std::size_t source_queue_msgs(NodeId src) const {
+    (void)src;
+    return 0;
+  }
+  /// Remove and return one shed victim from the source queue: the oldest
+  /// (`oldest`) or youngest fully-unsent message with submit_time <= cutoff.
+  /// Returns nullopt when nothing qualifies (everything is in flight).
+  virtual std::optional<Message> remove_shed_victim(NodeId src, bool oldest,
+                                                    TimeNs cutoff) {
+    (void)src;
+    (void)oldest;
+    (void)cutoff;
+    return std::nullopt;
+  }
+  /// A message was shed -- either refused at submit or evicted from the
+  /// source queue. Paradigms with compiled traffic budgets re-credit the
+  /// bytes here so the schedule does not hold slots for dead traffic.
+  virtual void on_message_shed(const Message& msg) { (void)msg; }
+
   Simulator& sim_;
   SystemParams params_;
   LinkModel link_;
@@ -177,17 +248,35 @@ class Network {
   void schedule_retransmit(const Message& msg, TimeNs extra_delay);
   void on_link_event(NodeId node, bool up);
   void note_recovery(const Message& msg);
-  /// Message conservation: injected == delivered + dropped + in-flight.
+  /// Message conservation: injected == delivered + dropped + shed +
+  /// in-flight.
   void audit_conservation(std::vector<std::string>& out) const;
+  /// Stamp a fresh message: allocates the id and updates the submission
+  /// ledgers (counter, byte totals, submission window).
+  Message make_message(NodeId src, NodeId dst, std::uint64_t bytes,
+                       std::size_t phase);
+  /// Retire a shed message: counters, ARQ/settlement bookkeeping when the
+  /// victim was already queued, the paradigm hook, and the shed handler
+  /// (synchronously -- the driver must see the resolution before it decides
+  /// whether a barrier can release).
+  void settle_shed(const Message& msg, bool was_queued, const char* tag);
 
   SendDoneFn send_done_;
   DeliveredFn delivered_;
   DroppedFn dropped_fn_;
+  ShedFn shed_fn_;
   std::vector<MessageRecord> records_;
   std::uint64_t delivered_bytes_ = 0;
   TimeNs last_delivery_{};
   MessageId next_id_ = 1;
   CounterSet counters_;
+
+  std::uint64_t submitted_bytes_ = 0;
+  TimeNs first_submit_{};
+  TimeNs last_submit_{};
+  std::size_t shed_ = 0;
+  std::uint64_t shed_bytes_ = 0;
+  std::vector<std::uint64_t> depth_samples_;
 
   std::unique_ptr<FaultModel> fault_;
   std::unique_ptr<ControlFaultModel> ctrl_;

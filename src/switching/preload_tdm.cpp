@@ -36,6 +36,12 @@ PreloadTdmNetwork::PreloadTdmNetwork(Simulator& sim,
   PMX_CHECK(!plan_.phases.empty(), "compiled plan has no phases");
   config_sent_.assign(plan_.phases[0].configs.size(), 0);
   phase_unsettled_.assign(plan_.phases.size(), 0);
+  if (admission_enabled()) {
+    for (auto& voq : voqs_) {
+      voq.set_capacity(params.admission.capacity_bytes,
+                       params.admission.capacity_msgs);
+    }
+  }
   if (control_faulty()) {
     ControlPlane::Options po;
     po.num_nodes = params.num_nodes;
@@ -121,6 +127,44 @@ void PreloadTdmNetwork::on_message_settled(const Message& msg) {
   --phase_unsettled_[msg.phase];
 }
 
+std::optional<Message> PreloadTdmNetwork::remove_shed_victim(NodeId src,
+                                                             bool oldest,
+                                                             TimeNs cutoff) {
+  auto victim = voqs_[src].evict(oldest, cutoff, std::nullopt);
+  if (victim.has_value() && voqs_[src].empty(victim->dst)) {
+    if (plane_) {
+      plane_->unwant(src, victim->dst);
+    } else {
+      sched_.set_request(src, victim->dst, false);
+    }
+  }
+  return victim;
+}
+
+void PreloadTdmNetwork::on_message_shed(const Message& msg) {
+  const std::size_t cfg = plan_.phases[msg.phase].config_of(msg.src, msg.dst);
+  if (cfg == PhasePlan::kNoConfig) {
+    return;
+  }
+  if (msg.phase == phase_) {
+    config_sent_[cfg] += msg.bytes;
+    return;
+  }
+  if (msg.phase < phase_) {
+    return;  // its phase already retired; nothing to credit
+  }
+  // Queued victim from a phase not yet entered: bank the credit so the
+  // phase starts with its budget already partially drained.
+  if (shed_credit_.empty()) {
+    shed_credit_.resize(plan_.phases.size());
+  }
+  auto& credit = shed_credit_[msg.phase];
+  if (credit.empty()) {
+    credit.assign(plan_.phases[msg.phase].configs.size(), 0);
+  }
+  credit[cfg] += msg.bytes;
+}
+
 bool PreloadTdmNetwork::phase_drained() const {
   const PhasePlan& phase = plan_.phases[phase_];
   for (std::size_t i = 0; i < phase.configs.size(); ++i) {
@@ -140,7 +184,11 @@ void PreloadTdmNetwork::maybe_advance_phase() {
       return;
     }
     ++phase_;
-    config_sent_.assign(plan_.phases[phase_].configs.size(), 0);
+    if (phase_ < shed_credit_.size() && !shed_credit_[phase_].empty()) {
+      config_sent_ = shed_credit_[phase_];
+    } else {
+      config_sent_.assign(plan_.phases[phase_].configs.size(), 0);
+    }
     for (std::size_t s = 0; s < slot_config_.size(); ++s) {
       PMX_CHECK(!slot_config_[s].has_value(),
                 "advancing phase with configurations still loaded");
@@ -156,12 +204,12 @@ void PreloadTdmNetwork::fill_free_slots() {
   // compiler's load-time order).
   std::vector<std::uint64_t> head_demand(phase.configs.size(), 0);
   for (NodeId u = 0; u < params_.num_nodes; ++u) {
-    for (const NodeId v : voqs_[u].pending_destinations()) {
-      const std::size_t cfg = phase.config_of(u, v);
+    voqs_[u].pending().for_each_set([&](std::size_t v) {
+      const std::size_t cfg = phase.config_of(u, static_cast<NodeId>(v));
       if (cfg != PhasePlan::kNoConfig) {
-        head_demand[cfg] += voqs_[u].head_remaining(v);
+        head_demand[cfg] += voqs_[u].head_remaining(static_cast<NodeId>(v));
       }
-    }
+    });
   }
   const auto loaded = [&](std::size_t cfg) {
     return std::any_of(slot_config_.begin(), slot_config_.end(),

@@ -45,6 +45,17 @@ class PreloadTdmNetwork final : public Network {
   void on_message_settled(const Message& msg) override;
   void audit_control(std::vector<std::string>& out) override;
   void resync_control() override;
+  [[nodiscard]] std::uint64_t source_queue_bytes(NodeId src) const override {
+    return voqs_[src].total_bytes();
+  }
+  [[nodiscard]] std::size_t source_queue_msgs(NodeId src) const override {
+    return voqs_[src].total_depth();
+  }
+  std::optional<Message> remove_shed_victim(NodeId src, bool oldest,
+                                            TimeNs cutoff) override;
+  /// A shed message's bytes will never cross the fabric, yet the compiled
+  /// budget expects them: credit the configuration so the phase can retire.
+  void on_message_shed(const Message& msg) override;
 
  private:
   void on_slot_tick();
@@ -71,6 +82,9 @@ class PreloadTdmNetwork final : public Network {
 
   std::size_t phase_ = 0;
   std::vector<std::uint64_t> config_sent_;
+  /// Bytes shed from not-yet-current phases, by [phase][config]: applied as
+  /// starting credit when the phase is entered (lazily sized).
+  std::vector<std::vector<std::uint64_t>> shed_credit_;
   /// Per-phase count of messages still inside the reliability state machine
   /// (fault layer only). A phase is held open until its count hits zero so
   /// retransmissions never cross a phase boundary.

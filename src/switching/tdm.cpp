@@ -43,6 +43,17 @@ TdmNetwork::TdmNetwork(Simulator& sim, const SystemParams& params,
     PMX_CHECK(rx_drain_ > 0, "finite receive buffer needs a drain rate");
     rx_occupancy_.assign(params.num_nodes, 0);
   }
+  if (admission_enabled()) {
+    for (auto& voq : voqs_) {
+      voq.set_capacity(params.admission.capacity_bytes,
+                       params.admission.capacity_msgs);
+    }
+  }
+  starvation_slots_ = options.starvation_slots;
+  if (starvation_slots_ > 0) {
+    starve_.assign(params.num_nodes, 0);
+    progress_.assign(params.num_nodes, 0);
+  }
   if (FaultModel* fm = fault_model()) {
     // Stuck SL cells are permanent manufacturing faults: masked from every
     // scheduling pass from the start.
@@ -146,6 +157,22 @@ void TdmNetwork::do_submit(const Message& msg) {
   }
 }
 
+std::optional<Message> TdmNetwork::remove_shed_victim(NodeId src, bool oldest,
+                                                      TimeNs cutoff) {
+  auto victim = voqs_[src].evict(oldest, cutoff, std::nullopt);
+  if (victim.has_value() && voqs_[src].empty(victim->dst)) {
+    // The eviction drained the VOQ: withdraw the request exactly like the
+    // slot-drain path does, or the scheduler would keep a slot established
+    // for traffic that no longer exists.
+    if (plane_) {
+      plane_->unwant(src, victim->dst);
+    } else {
+      sched_.set_request(src, victim->dst, false);
+    }
+  }
+  return victim;
+}
+
 void TdmNetwork::on_slot_tick() {
   // A predictor that detects a communication-phase change (Section 3.3)
   // may ask for a wholesale flush of the learned working set.
@@ -153,6 +180,34 @@ void TdmNetwork::on_slot_tick() {
     sched_.flush_dynamic();
     predictor_->on_flush();
     counters().counter("auto_flushes") += 1;
+  }
+  // Starvation watchdog: a source with queued traffic that moves nothing
+  // for starvation_slots_ consecutive slots (holds, preloads, or skew have
+  // crowded it out of every configuration) triggers a flush of the learned
+  // schedule state so the reactive path re-inserts the starved requests.
+  const auto starvation_scan = [this] {
+    if (starvation_slots_ == 0) {
+      return;
+    }
+    bool intervene = false;
+    for (NodeId u = 0; u < params_.num_nodes; ++u) {
+      if (voqs_[u].total_bytes() == 0 || progress_[u] != 0) {
+        starve_[u] = 0;
+        continue;
+      }
+      if (++starve_[u] >= starvation_slots_) {
+        intervene = true;
+      }
+    }
+    if (intervene) {
+      sched_.flush_dynamic();
+      predictor_->on_flush();
+      counters().counter("starvation_interventions") += 1;
+      std::fill(starve_.begin(), starve_.end(), 0);
+    }
+  };
+  if (starvation_slots_ > 0) {
+    std::fill(progress_.begin(), progress_.end(), 0);
   }
   // Predictor evictions unlatch idle connections; the next SL pass over
   // their slot releases them.
@@ -165,6 +220,7 @@ void TdmNetwork::on_slot_tick() {
   xbar_.load(sched_.active_config());
   if (!slot) {
     counters().counter("idle_slots") += 1;
+    starvation_scan();
     if (plane_) {
       lease_scan();
     }
@@ -224,6 +280,9 @@ void TdmNetwork::on_slot_tick() {
       }
     }
     counters().counter("slot_bytes") += sent;
+    if (starvation_slots_ > 0 && sent > 0) {
+      progress_[u] = 1;
+    }
     if (rx_buffer_ > 0) {
       rx_occupancy_[v] += sent;
     }
@@ -246,6 +305,7 @@ void TdmNetwork::on_slot_tick() {
       }
     }
   }
+  starvation_scan();
   if (plane_) {
     lease_scan();
   }

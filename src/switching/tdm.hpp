@@ -51,6 +51,11 @@ class TdmNetwork : public Network {
     /// Bytes the receiving processor consumes from its input buffer per
     /// TDM slot (only meaningful with a finite buffer).
     std::uint64_t receiver_drain_per_slot = 64;
+    /// Starvation watchdog (graceful degradation under overload): if a
+    /// source sits on queued traffic for this many consecutive slots
+    /// without moving a byte, the learned schedule state is flushed so the
+    /// reactive path can re-insert the starved requests. 0 = off.
+    std::size_t starvation_slots = 0;
   };
 
   TdmNetwork(Simulator& sim, const SystemParams& params);
@@ -79,6 +84,14 @@ class TdmNetwork : public Network {
   void do_submit(const Message& msg) override;
   void audit_control(std::vector<std::string>& out) override;
   void resync_control() override;
+  [[nodiscard]] std::uint64_t source_queue_bytes(NodeId src) const override {
+    return voqs_[src].total_bytes();
+  }
+  [[nodiscard]] std::size_t source_queue_msgs(NodeId src) const override {
+    return voqs_[src].total_depth();
+  }
+  std::optional<Message> remove_shed_victim(NodeId src, bool oldest,
+                                            TimeNs cutoff) override;
 
  private:
   void on_slot_tick();
@@ -104,6 +117,9 @@ class TdmNetwork : public Network {
   std::uint64_t rx_buffer_ = 0;  ///< 0 = unlimited
   std::uint64_t rx_drain_ = 0;
   std::vector<std::uint64_t> rx_occupancy_;  ///< empty when unlimited
+  std::size_t starvation_slots_ = 0;  ///< 0 = watchdog off
+  std::vector<std::size_t> starve_;   ///< consecutive zero-progress slots
+  std::vector<char> progress_;        ///< per-slot scratch: source moved data
 };
 
 }  // namespace pmx

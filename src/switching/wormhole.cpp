@@ -12,9 +12,24 @@ WormholeNetwork::WormholeNetwork(Simulator& sim, const SystemParams& params)
       sources_(params.num_nodes, SourceState(params.num_nodes)),
       output_busy_(params.num_nodes, false),
       output_rr_(params.num_nodes, 0) {
+  if (admission_enabled()) {
+    for (auto& src : sources_) {
+      src.voqs.set_capacity(params.admission.capacity_bytes,
+                            params.admission.capacity_msgs);
+    }
+  }
   if (FaultModel* fm = fault_model()) {
     fm->subscribe([this](NodeId node, bool up) { on_link_change(node, up); });
   }
+}
+
+std::optional<Message> WormholeNetwork::remove_shed_victim(NodeId src_id,
+                                                           bool oldest,
+                                                           TimeNs cutoff) {
+  SourceState& src = sources_[src_id];
+  const std::optional<NodeId> protect =
+      src.busy ? std::optional<NodeId>(src.active_dst) : std::nullopt;
+  return src.voqs.evict(oldest, cutoff, protect);
 }
 
 void WormholeNetwork::on_link_change(NodeId node, bool up) {

@@ -37,6 +37,22 @@ class WormholeNetwork final : public Network {
   void do_submit(const Message& msg) override;
   void audit_control(std::vector<std::string>& out) override;
   void resync_control() override;
+  [[nodiscard]] std::uint64_t source_queue_bytes(NodeId src) const override {
+    return sources_[src].voqs.total_bytes();
+  }
+  [[nodiscard]] std::size_t source_queue_msgs(NodeId src) const override {
+    return sources_[src].voqs.total_depth();
+  }
+  /// The in-flight worm's head (active_dst) is never a shed victim even
+  /// when its remaining count still equals its size (bytes are consumed at
+  /// worm completion, not dispatch) -- shedding it would strand the busy
+  /// output port. This is also the deadlock-freedom argument under full
+  /// buffers: a dispatched worm owns its input and output port outright,
+  /// always completes after sched + serialization, and completion both
+  /// consumes queued bytes and rematches waiting inputs, so some port
+  /// always drains no matter how full every VOQ is.
+  std::optional<Message> remove_shed_victim(NodeId src, bool oldest,
+                                            TimeNs cutoff) override;
 
  private:
   /// Try to dispatch one worm from input `src` (if idle) to any pending

@@ -1,0 +1,107 @@
+#include "traffic/arrival.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace pmx {
+
+void ArrivalParams::validate() const {
+  PMX_CHECK(offered_load > 0.0, "offered load must be positive");
+  PMX_CHECK(rate_skew >= 0.0 && rate_skew < 1.0, "rate skew must be in [0,1)");
+  PMX_CHECK(dest_skew >= 0.0 && dest_skew <= 1.0,
+            "destination skew must be in [0,1]");
+  PMX_CHECK(mean_msg_bytes > 0, "empty messages carry no load");
+  PMX_CHECK(duration > TimeNs::zero(), "injection window must be positive");
+  if (process == Process::kOnOff) {
+    PMX_CHECK(burst_peak > 1.0, "burst peak must exceed the mean rate");
+    PMX_CHECK(mean_on > TimeNs::zero(), "ON period must be positive");
+  }
+}
+
+namespace {
+
+/// Arrival instants (ns) of one node's stream over [0, duration).
+std::vector<std::int64_t> draw_arrivals(Rng& rng, const ArrivalParams& p,
+                                        double rate) {
+  std::vector<std::int64_t> times;
+  const double dur = static_cast<double>(p.duration.ns());
+  const double mean_gap = static_cast<double>(p.mean_msg_bytes) / rate;
+  if (p.process == ArrivalParams::Process::kPoisson) {
+    double t = rng.exponential(mean_gap);
+    while (t < dur) {
+      times.push_back(static_cast<std::int64_t>(t));
+      t += rng.exponential(mean_gap);
+    }
+    return times;
+  }
+  // ON/OFF: exponential ON bursts at burst_peak times the mean rate,
+  // separated by OFF periods sized so the long-run average is `rate`.
+  const double gap_on = mean_gap / p.burst_peak;
+  const double mean_on = static_cast<double>(p.mean_on.ns());
+  const double mean_off = mean_on * (p.burst_peak - 1.0);
+  double t = 0.0;
+  while (t < dur) {
+    const double on_end = t + rng.exponential(mean_on);
+    t += rng.exponential(gap_on);
+    while (t < on_end && t < dur) {
+      times.push_back(static_cast<std::int64_t>(t));
+      t += rng.exponential(gap_on);
+    }
+    t = std::max(t, on_end) + rng.exponential(mean_off);
+  }
+  return times;
+}
+
+}  // namespace
+
+Workload open_loop(std::size_t n, const ArrivalParams& params,
+                   double bytes_per_ns) {
+  params.validate();
+  PMX_CHECK(n >= 2, "open-loop traffic needs at least two nodes");
+  PMX_CHECK(bytes_per_ns > 0.0, "line rate must be positive");
+
+  Rng master(params.seed);
+  const std::size_t hot_count = std::max<std::size_t>(1, n / 16);
+  Workload workload;
+  workload.programs.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    Rng rng = master.split();
+    // Linear rate skew across node ids: the mean over nodes stays at
+    // offered_load, the hottest node injects up to (1 + rate_skew)x.
+    double weight = 1.0;
+    if (n > 1) {
+      const double pos =
+          2.0 * static_cast<double>(u) / static_cast<double>(n - 1) - 1.0;
+      weight += params.rate_skew * pos;
+    }
+    const double rate = params.offered_load * weight * bytes_per_ns;
+    const auto times = draw_arrivals(rng, params, rate);
+
+    Program& prog = workload.programs[u];
+    prog.reserve(times.size() * 2);
+    std::int64_t prev = 0;
+    for (const std::int64_t at : times) {
+      NodeId dst = u;
+      while (dst == u) {
+        // Hot-set draw first so the uniform fallback stays unbiased.
+        if (params.dest_skew > 0.0 && rng.chance(params.dest_skew)) {
+          dst = static_cast<NodeId>(rng.below(hot_count));
+        } else {
+          dst = static_cast<NodeId>(rng.below(n));
+        }
+      }
+      const std::int64_t gap = at - prev;
+      if (gap > 0) {
+        prog.push_back(Command::compute(TimeNs{gap}));
+      }
+      prog.push_back(Command::send(dst, params.mean_msg_bytes));
+      prev = at;
+    }
+  }
+  return workload;
+}
+
+}  // namespace pmx

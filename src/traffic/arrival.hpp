@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "traffic/program.hpp"
+
+namespace pmx {
+
+/// Seeded open-loop arrival-process generator for the overload campaign.
+///
+/// Unlike the barrier-phased patterns (traffic/patterns.hpp), these
+/// workloads inject continuously: each node's program is an alternating
+/// [compute(gap), send(dst, bytes)] stream with no barriers, so injection
+/// pressure is set entirely by the arrival process, not by closed-loop
+/// drain feedback. Offered load is expressed as a fraction of per-port
+/// line rate; values above 1.0 deliberately exceed what the fabric can
+/// carry and exercise the admission controller.
+struct ArrivalParams {
+  enum class Process : std::uint8_t {
+    kPoisson,  ///< exponential inter-arrival gaps at the offered rate
+    kOnOff,    ///< bursty: exponential ON periods at `burst_peak` times the
+               ///< offered rate, alternating with exponential OFF periods
+               ///< sized so the long-run average equals the offered rate
+  };
+
+  Process process = Process::kPoisson;
+
+  /// Mean injection rate per node as a fraction of per-port line rate
+  /// (bytes_per_ns). 1.0 saturates every injection port; 2.0 offers twice
+  /// the bisection capacity.
+  double offered_load = 1.0;
+
+  /// Per-node rate skew in [0, 1): node i's rate is scaled by
+  /// 1 + rate_skew * (2i/(n-1) - 1), so the mean over nodes stays at
+  /// offered_load while the hottest node injects up to (1 + rate_skew)x.
+  double rate_skew = 0.0;
+
+  /// Destination skew in [0, 1): probability that a message targets the
+  /// small hot set (max(1, n/16) nodes) instead of a uniform destination.
+  double dest_skew = 0.0;
+
+  /// Mean message size; each send uses exactly this size so offered load
+  /// is controlled by the gaps alone.
+  std::uint64_t mean_msg_bytes = 512;
+
+  /// Injection window: arrivals are generated until this time, after which
+  /// the node's program ends (the drain deadline is the run horizon).
+  TimeNs duration{100'000};
+
+  /// ON/OFF only: peak-to-mean ratio of the ON-period rate (> 1.0) and the
+  /// mean ON-period length. The mean OFF period is derived as
+  /// mean_on * (burst_peak - 1) so the long-run rate matches offered_load.
+  double burst_peak = 4.0;
+  TimeNs mean_on{2'000};
+
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+/// Generate one open-loop workload: `n` programs of interleaved
+/// compute/send commands. `bytes_per_ns` is the per-port line rate the
+/// offered_load fraction is taken against. Deterministic for a given
+/// (params, n); per-node streams come from seed splits, so changing one
+/// knob never reshuffles another node's arrivals.
+[[nodiscard]] Workload open_loop(std::size_t n, const ArrivalParams& params,
+                                 double bytes_per_ns);
+
+}  // namespace pmx

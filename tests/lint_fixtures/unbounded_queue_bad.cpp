@@ -1,0 +1,25 @@
+// Bad: NIC-style queues that grow with no capacity verdict anywhere in
+// sight. Under overload these wedge the simulation or eat unbounded
+// memory; every growth call below must trip unbounded-queue.
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+struct Message {
+  std::uint64_t bytes = 0;
+  std::size_t dst = 0;
+};
+
+class LeakyNic {
+ public:
+  void submit(const Message& msg) {
+    fifo_.push_back(msg);
+    lanes_[msg.dst].emplace_back(msg);
+  }
+
+  void requeue(const Message& msg) { fifo_.push_front(msg); }
+
+ private:
+  std::deque<Message> fifo_;
+  std::vector<std::deque<Message>> lanes_;
+};

@@ -1,0 +1,39 @@
+// Good: every growth call is either gated behind an explicit capacity
+// verdict (visible within the guard window) or carries an allow comment
+// stating the structural bound. Draining a queue is always fine.
+#include <cstdint>
+#include <deque>
+
+struct Message {
+  std::uint64_t bytes = 0;
+};
+
+class BoundedNic {
+ public:
+  bool try_submit(const Message& msg) {
+    if (total_bytes_ + msg.bytes > capacity_bytes_) {
+      return false;  // shed: the caller settles the drop
+    }
+    fifo_.push_back(msg);
+    total_bytes_ += msg.bytes;
+    return true;
+  }
+
+  void park(const Message& msg) {
+    // Structurally bounded: at most one parked message per source.
+    parked_.push_back(msg);  // pmx-lint: allow(unbounded-queue)
+  }
+
+  void drain() {
+    while (!fifo_.empty()) {
+      total_bytes_ -= fifo_.front().bytes;
+      fifo_.pop_front();
+    }
+  }
+
+ private:
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t capacity_bytes_ = 4096;
+  std::deque<Message> fifo_;
+  std::deque<Message> parked_;
+};

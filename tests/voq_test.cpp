@@ -22,7 +22,7 @@ TEST(VoqSet, StartsEmpty) {
   for (NodeId d = 0; d < 8; ++d) {
     EXPECT_TRUE(voqs.empty(d));
   }
-  EXPECT_TRUE(voqs.pending_destinations().empty());
+  EXPECT_FALSE(voqs.pending().any());
 }
 
 TEST(VoqSet, PushRoutesToDestinationQueue) {
@@ -36,12 +36,20 @@ TEST(VoqSet, PushRoutesToDestinationQueue) {
   EXPECT_EQ(voqs.head_remaining(2), 100u);
 }
 
-TEST(VoqSet, PendingDestinationsIsRequestVector) {
+TEST(VoqSet, PendingViewIsRequestVector) {
   VoqSet voqs(6);
   voqs.push(msg(1, 0, 5, 10));
   voqs.push(msg(2, 0, 1, 10));
   voqs.push(msg(3, 0, 5, 10));
-  EXPECT_EQ(voqs.pending_destinations(), (std::vector<NodeId>{1, 5}));
+  std::vector<NodeId> dests;
+  voqs.pending().for_each_set(
+      [&](std::size_t d) { dests.push_back(static_cast<NodeId>(d)); });
+  EXPECT_EQ(dests, (std::vector<NodeId>{1, 5}));
+  // The view is maintained incrementally: draining a queue clears its bit.
+  Message completed;
+  voqs.consume(1, 10, &completed);
+  EXPECT_FALSE(voqs.pending().get(1));
+  EXPECT_TRUE(voqs.pending().get(5));
 }
 
 TEST(VoqSet, ConsumePartialKeepsHead) {

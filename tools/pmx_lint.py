@@ -30,6 +30,16 @@ the source-level patterns that historically break that contract:
                  must go through the PolicyEngine and event ordering through
                  the EventQueue, both of which carry total-order
                  tie-breakers.
+  unbounded-queue
+                 growth calls (push_back / push_front / emplace_back /
+                 emplace_front / push / emplace) on std::deque / std::queue /
+                 std::list typed names inside src/nic and src/switching with
+                 no capacity check in sight (same line or the three preceding
+                 code lines). Overload robustness rests on every NIC and
+                 switch queue being bounded: growth must sit behind an
+                 explicit capacity verdict (VoqSet::would_overflow, the
+                 admission controller) or carry an allow comment stating the
+                 structural bound.
   include-guard  headers must open with `#pragma once`.
 
 Escape hatch: a finding on line N is suppressed by appending
@@ -84,7 +94,16 @@ FLOAT_ACCUM_WHITELIST = (
     "src/common/stats.cpp",
     "src/core/metrics.hpp",
     "src/core/metrics.cpp",
+    # Stochastic arrival-process model: continuous-time exponential draws,
+    # quantized to TimeNs only at the program boundary.
+    "src/traffic/arrival.hpp",
+    "src/traffic/arrival.cpp",
 )
+
+# The queue-discipline layers where every queue must be bounded: the NIC
+# (VOQs, admission) and the switch paradigms. Queue growth elsewhere (test
+# scaffolding, tooling) is out of scope for unbounded-queue.
+UNBOUNDED_QUEUE_ROOTS = ("src/nic/", "src/switching/")
 
 ALLOW_RE = re.compile(r"pmx-lint:\s*allow\(([a-zA-Z0-9_,\s-]+)\)")
 
@@ -113,6 +132,23 @@ RAW_HEAP_RE = re.compile(
     r"|is_heap(?:_until)?)\s*\("
 )
 
+QUEUE_DECL_RE = re.compile(
+    r"\b(?:std::)?(?:deque|queue|list)\s*<[^;{}]*?>[\s&*]*"
+    r"(?:const\s+)?([A-Za-z_]\w*)\s*(?:[;={,)]|$)"
+)
+QUEUE_GROW_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?:\[[^\]]*\]\s*)?\.\s*"
+    r"(?:push_back|push_front|emplace_back|emplace_front|push|emplace)\s*\("
+)
+# Capacity-verdict vocabulary: a growth call is considered guarded when one
+# of these appears on the growth line or the three preceding code lines
+# (comments are stripped, so prose claiming boundedness does not count).
+QUEUE_GUARD_RE = re.compile(
+    r"\b(?:would_overflow|capacity\w*|max_bytes\w*|max_msgs\w*"
+    r"|admit\w*|try_submit)\b"
+)
+QUEUE_GUARD_WINDOW = 3
+
 NEW_RE = re.compile(r"(?<!\boperator )\bnew\b\s*(?:\(|[A-Za-z_:<])")
 DELETE_RE = re.compile(r"(?<!\boperator )(?<!=\s)(?<!= )\bdelete\b(?!\s*;)")
 
@@ -128,6 +164,9 @@ RULES = {
     "raw-heap": "raw priority queue / heap primitive outside the sanctioned "
     "cores; route rank ordering through PolicyEngine and event ordering "
     "through EventQueue",
+    "unbounded-queue": "queue growth without a capacity check; gate it "
+    "behind an explicit capacity verdict (VoqSet::would_overflow, the "
+    "admission controller) or allow() a structurally bounded site",
     "include-guard": "header does not start with #pragma once",
 }
 
@@ -279,6 +318,16 @@ def range_expr_name(expr: str) -> str:
     return m.group(1) if m else ""
 
 
+def unbounded_queue_in_scope(rel: str) -> bool:
+    """The rule polices the queue-discipline layers. Explicit file arguments
+    outside the standard roots (the fixture corpus under test) are always in
+    scope so the rule itself stays testable."""
+    posix = rel.replace("\\", "/")
+    if posix.startswith(UNBOUNDED_QUEUE_ROOTS):
+        return True
+    return posix.split("/", 1)[0] not in DEFAULT_ROOTS
+
+
 def lint_file(path: Path, rel: str, rules: set[str]) -> list[Finding]:
     text = path.read_text(encoding="utf-8")
     code_lines, comment_lines = strip_comments_and_strings(text)
@@ -315,6 +364,18 @@ def lint_file(path: Path, rel: str, rules: set[str]) -> list[Finding]:
             for m in COMPOUND_ASSIGN_RE.finditer(line):
                 if m.group(1) in float_names:
                     emit(idx, "float-accum", RULES["float-accum"])
+
+    if "unbounded-queue" in rules and unbounded_queue_in_scope(rel):
+        scope = code_lines + paired_header_lines(path)
+        queue_names = collect_names(QUEUE_DECL_RE, scope)
+        for idx, line in enumerate(code_lines, 1):
+            for m in QUEUE_GROW_RE.finditer(line):
+                if m.group(1) not in queue_names:
+                    continue
+                lookback = code_lines[max(0, idx - 1 - QUEUE_GUARD_WINDOW):idx]
+                if any(QUEUE_GUARD_RE.search(l) for l in lookback):
+                    continue
+                emit(idx, "unbounded-queue", RULES["unbounded-queue"])
 
     if "raw-new" in rules:
         for idx, line in enumerate(code_lines, 1):

@@ -63,6 +63,14 @@ class RuleFixtures(unittest.TestCase):
         self.assert_rule("include_guard_bad.hpp", "include_guard_good.hpp",
                          "include-guard", 1)
 
+    def test_unbounded_queue(self):
+        # Three offending growth calls: push_back, emplace_back through a
+        # vector-of-deques index, and push_front. The good fixture shows the
+        # two sanctioned shapes: a capacity verdict within the guard window
+        # and an allow() comment stating a structural bound.
+        self.assert_rule("unbounded_queue_bad.cpp", "unbounded_queue_good.cpp",
+                         "unbounded-queue", 3)
+
     def test_raw_heap(self):
         # Three offending lines: the priority_queue declaration, make_heap,
         # and pop_heap.
@@ -138,8 +146,12 @@ class BaselineMode(unittest.TestCase):
 
 
 class RepoIsClean(unittest.TestCase):
-    def test_default_roots_have_no_findings(self):
-        rc = pmx_lint.main(["--root", str(REPO_ROOT), "--quiet"])
+    def test_default_roots_have_no_new_findings(self):
+        # The committed baseline carries the acknowledged debt (currently the
+        # second circuit waiters site); everything else must be clean.
+        baseline = REPO_ROOT / "tools" / "pmx_lint_baseline.json"
+        rc = pmx_lint.main(["--root", str(REPO_ROOT), "--quiet",
+                            "--baseline", str(baseline)])
         self.assertEqual(rc, 0)
 
 
