@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "common/bitmatrix.hpp"
-#include "nic/message.hpp"
+#include "common/message.hpp"
 
 namespace pmx {
 

@@ -7,8 +7,8 @@
 #include "common/bitmatrix.hpp"
 #include "core/driver.hpp"
 #include "core/metrics.hpp"
-#include "core/params.hpp"
 #include "predictor/rank_fn.hpp"
+#include "switching/params.hpp"
 #include "traffic/program.hpp"
 
 namespace pmx {

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "common/bitmatrix.hpp"
-#include "nic/message.hpp"
+#include "common/message.hpp"
 
 namespace pmx {
 

@@ -6,9 +6,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/message.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
-#include "nic/message.hpp"
 #include "sim/simulator.hpp"
 
 namespace pmx {

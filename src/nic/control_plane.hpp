@@ -5,10 +5,10 @@
 #include <functional>
 #include <vector>
 
+#include "common/message.hpp"
 #include "common/stats.hpp"
 #include "common/time.hpp"
 #include "fault/control_fault.hpp"
-#include "nic/message.hpp"
 #include "sim/simulator.hpp"
 
 namespace pmx {

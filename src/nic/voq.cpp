@@ -46,6 +46,7 @@ std::uint64_t VoqSet::head_remaining(NodeId dst) const {
   return queues_[dst].front().remaining;
 }
 
+// pmx-hot
 std::uint64_t VoqSet::consume(NodeId dst, std::uint64_t budget,
                               Message* completed) {
   PMX_CHECK(!queues_[dst].empty(), "consume from empty VOQ");

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "common/bitvector.hpp"
-#include "nic/message.hpp"
+#include "common/message.hpp"
 
 namespace pmx {
 

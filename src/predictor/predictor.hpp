@@ -6,13 +6,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/message.hpp"
 #include "common/time.hpp"
-#include "nic/message.hpp"
 
 namespace pmx {
 
 /// Eviction predictor interface (Section 3.2). Connections are identified
-/// by Conn pairs (see nic/message.hpp).
+/// by Conn pairs (see common/message.hpp).
 ///
 /// The paper inverts the usual prediction problem: instead of predicting
 /// which connection to *add*, the predictor decides when to *remove* a

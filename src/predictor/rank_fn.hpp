@@ -7,8 +7,8 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/message.hpp"
 #include "common/time.hpp"
-#include "nic/message.hpp"
 
 namespace pmx {
 

@@ -4,8 +4,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/message.hpp"
 #include "common/time.hpp"
-#include "nic/message.hpp"
 
 namespace pmx {
 

@@ -64,6 +64,7 @@ SlPassResult sl_array_pass_ref(const BitMatrix& l,
   return result;
 }
 
+// pmx-hot
 SlPassResult sl_array_pass_fast(const BitMatrix& l,
                                 const BitMatrix& slot_config,
                                 const BitVector& ai, const BitVector& ao,

@@ -7,6 +7,7 @@
 
 namespace pmx {
 
+// pmx-hot
 EventId EventQueue::push(TimeNs t, EventFn fn) {
   const EventId id = next_id_++;
   heap_.push_back(Entry{t, id, std::move(fn)});
@@ -38,6 +39,7 @@ void EventQueue::compact() {
   cancelled_.clear();
 }
 
+// pmx-hot
 void EventQueue::drop_cancelled() {
   while (!heap_.empty()) {
     const auto it = cancelled_.find(heap_.front().id);
@@ -61,6 +63,7 @@ TimeNs EventQueue::next_time() {
   return heap_.front().time;
 }
 
+// pmx-hot
 EventQueue::Fired EventQueue::pop() {
   drop_cancelled();
   PMX_CHECK(!heap_.empty(), "pop on empty EventQueue");

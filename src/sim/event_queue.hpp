@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <unordered_set>
@@ -26,6 +27,8 @@ using EventId = std::uint64_t;
 /// rebuilt, restoring O(live) memory and sift cost.
 class EventQueue {
  public:
+  EventQueue() { heap_.reserve(kInitialReserve); }
+
   /// Enqueue `fn` to run at absolute time `t`. Returns a handle usable with
   /// cancel().
   EventId push(TimeNs t, EventFn fn);
@@ -54,6 +57,12 @@ class EventQueue {
   [[nodiscard]] std::size_t tombstones() const { return cancelled_.size(); }
 
  private:
+  /// Up-front heap capacity: push() is a `// pmx-hot` kernel, so steady-state
+  /// operation must not reallocate. 1024 entries (~48 KiB) covers the event
+  /// population of every bench point; larger campaigns grow once and then
+  /// stay flat.
+  static constexpr std::size_t kInitialReserve = 1024;
+
   struct Entry {
     TimeNs time;
     EventId id;

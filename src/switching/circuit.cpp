@@ -163,9 +163,9 @@ void CircuitNetwork::request_arrived(NodeId src_id) {
   const bool dst_down = fm != nullptr && !fm->link_up(src.active.dst);
   if (out.busy || dst_down) {
     // Busy output or dead destination cable: queue FIFO at the scheduler.
-    // Structurally bounded: each source waits on at most one output.
-    out.waiters.push_back(src_id);  // pmx-lint: allow(unbounded-queue)
-    counters().counter("circuit_waits") += 1;
+    if (enqueue_waiter(src.active.dst, src_id)) {
+      counters().counter("circuit_waits") += 1;
+    }
     return;
   }
   grant_to(src.active.dst, src_id);
@@ -191,13 +191,7 @@ void CircuitNetwork::request_arrived_ctrl(NodeId src_id, NodeId dst) {
   const FaultModel* fm = fault_model();
   const bool dst_down = fm != nullptr && !fm->link_up(dst);
   if (out.busy || dst_down) {
-    if (std::find(out.waiters.begin(), out.waiters.end(), src_id) ==
-        out.waiters.end()) {
-      // Bounded for the same reason (membership-checked, one slot per
-      // source) but carried in the lint baseline rather than allowed
-      // inline: the retransmit path should eventually share request_arrived
-      // with the first-send path, at which point this site disappears.
-      out.waiters.push_back(src_id);
+    if (enqueue_waiter(dst, src_id)) {
       counters().counter("circuit_waits") += 1;
     }
     return;
@@ -450,6 +444,22 @@ void CircuitNetwork::free_output(NodeId out_id) {
   }
 }
 
+bool CircuitNetwork::enqueue_waiter(NodeId out_id, NodeId src_id) {
+  OutputState& out = outputs_[out_id];
+  if (std::find(out.waiters.begin(), out.waiters.end(), src_id) !=
+      out.waiters.end()) {
+    return false;  // already parked: a duplicate keeps its original slot
+  }
+  // Capacity tied to the retry protocol: requests are deduplicated above, so
+  // however many times the watchdog retransmits, a source holds at most one
+  // slot and the list can never outgrow the source population.
+  const std::size_t capacity = sources_.size();
+  PMX_CHECK(out.waiters.size() < capacity,
+            "circuit waiter list exceeded its structural capacity");
+  out.waiters.push_back(src_id);
+  return true;
+}
+
 void CircuitNetwork::audit_control(std::vector<std::string>& out) {
   if (!control_faulty()) {
     return;
@@ -551,8 +561,9 @@ void CircuitNetwork::resync_control() {
     OutputState& out = outputs_[dst];
     const bool dst_down = fm != nullptr && !fm->link_up(dst);
     if (out.busy || dst_down) {
-      // Structurally bounded: resync re-queues each source at most once.
-      out.waiters.push_back(u);  // pmx-lint: allow(unbounded-queue)
+      // Resync replay does not recount circuit_waits: the wait was already
+      // counted when the request first queued.
+      enqueue_waiter(dst, u);
     } else {
       grant_to(dst, u);
     }

@@ -103,6 +103,14 @@ class CircuitNetwork final : public Network {
   /// Free the output and serve the next waiter (shared tail of release and
   /// lease expiry).
   void free_output(NodeId out);
+  /// Park `src` in `out`'s FIFO waiter queue. Idempotent: a source that is
+  /// already parked (a retransmitted or resync-replayed request) keeps its
+  /// original slot and the call returns false. Capacity is enforced: every
+  /// source occupies at most one slot across the whole scheduler, so no
+  /// waiter list can exceed `num_nodes`; the check turns a future protocol
+  /// change that breaks that bound into a loud failure instead of silent
+  /// queue growth.
+  bool enqueue_waiter(NodeId out, NodeId src);
   /// Route a teardown notice over the (possibly lossy) control wire.
   void schedule_release(NodeId out);
   /// Fault reaction: poison in-flight transfers, drop held circuits on the

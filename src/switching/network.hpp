@@ -8,13 +8,13 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/message.hpp"
 #include "common/stats.hpp"
-#include "core/params.hpp"
-#include "core/slot_auditor.hpp"
 #include "fault/control_fault.hpp"
 #include "fault/fault_model.hpp"
-#include "nic/message.hpp"
 #include "sim/simulator.hpp"
+#include "switching/params.hpp"
+#include "switching/slot_auditor.hpp"
 
 namespace pmx {
 

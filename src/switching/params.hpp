@@ -4,11 +4,11 @@
 #include <cstdint>
 
 #include "common/time.hpp"
-#include "core/slot_auditor.hpp"
 #include "fabric/link.hpp"
 #include "fault/control_fault.hpp"
 #include "fault/fault_model.hpp"
 #include "nic/admission.hpp"
+#include "switching/slot_auditor.hpp"
 
 namespace pmx {
 

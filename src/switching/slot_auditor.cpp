@@ -1,4 +1,4 @@
-#include "core/slot_auditor.hpp"
+#include "switching/slot_auditor.hpp"
 
 #include <algorithm>
 

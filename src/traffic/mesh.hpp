@@ -4,7 +4,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "nic/message.hpp"
+#include "common/message.hpp"
 
 namespace pmx {
 

@@ -3,8 +3,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/message.hpp"
 #include "common/time.hpp"
-#include "nic/message.hpp"
 
 namespace pmx {
 

@@ -7,9 +7,9 @@
 
 #include <gtest/gtest.h>
 
-#include "core/slot_auditor.hpp"
 #include "fault/fault_model.hpp"
 #include "sim/simulator.hpp"
+#include "switching/slot_auditor.hpp"
 #include "switching/wormhole.hpp"
 
 namespace pmx {

@@ -130,5 +130,43 @@ TEST(Circuit, PerSourceFifoOrdering) {
   EXPECT_LT(net.records()[0].send_done, net.records()[1].send_done);
 }
 
+TEST(Circuit, WaiterListBoundedAtOneSlotPerSource) {
+  // Every source in the system contends for output 7 at once: the waiter
+  // list absorbs the full source population minus the winner, exactly its
+  // structural capacity, and every message still delivers. The capacity
+  // PMX_CHECK in enqueue_waiter fires (aborting the test) if any source
+  // ever occupies more than one slot.
+  Simulator sim;
+  CircuitNetwork net(sim, small_params());
+  for (NodeId src = 0; src < 7; ++src) {
+    net.submit(src, 7, 256);
+  }
+  sim.run();
+  EXPECT_EQ(net.records().size(), 7u);
+  EXPECT_EQ(net.counters().value("circuit_waits"), 6u);
+}
+
+TEST(Circuit, RetransmittedRequestKeepsSingleWaiterSlot) {
+  // Regression for the retransmit-waiter bound: source 1 holds output 3 for
+  // a long transfer while source 0's grant is lost, so 0's watchdog
+  // retransmits the request several times against the still-busy output.
+  // Each retransmission finds source 0 already parked and must not grow the
+  // waiter list or recount the wait.
+  Simulator sim;
+  SystemParams p = small_params();
+  p.ctrl.force_enable = true;  // all rates zero: the drop is scripted
+  CircuitNetwork net(sim, p);
+  net.submit(1, 3, 8192);  // ~10 us transfer holds output 3
+  // Lose the first grant sent to a requester of the busy output's epoch;
+  // source 0 then re-requests on watchdog timeouts (500 ns, 1 us, ...)
+  // while 1's transfer is still in flight.
+  net.control_fault()->force_drop(CtrlMsg::kGrant, 1);
+  net.submit(0, 3, 64);
+  sim.run_until(TimeNs{200'000});
+  EXPECT_EQ(net.delivered_count(), 2u);
+  EXPECT_EQ(net.counters().value("circuit_waits"), 1u);
+  EXPECT_GE(net.counters().value("ctrl_rerequests"), 1u);
+}
+
 }  // namespace
 }  // namespace pmx

@@ -5,9 +5,9 @@
 
 #include <gtest/gtest.h>
 
-#include "core/slot_auditor.hpp"
 #include "fault/control_fault.hpp"
 #include "sim/simulator.hpp"
+#include "switching/slot_auditor.hpp"
 #include "switching/tdm.hpp"
 
 namespace pmx {

@@ -1,0 +1,34 @@
+// Bad: a `// pmx-hot` kernel that allocates on every call. Heap traffic in
+// the per-event path dominates simulator throughput; each of the four
+// allocating lines inside drain() must trip hot-path-alloc. The identical
+// cold() function below carries no annotation and must not be flagged.
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+struct Entry {
+  std::uint64_t id = 0;
+};
+
+class Drainer {
+ public:
+  // pmx-hot
+  std::uint64_t drain(std::uint64_t id) {
+    Entry* e = new Entry{id};
+    std::function<void()> cb = [e] { (void)e; };
+    std::string label = std::to_string(id);
+    log_.push_back(id);
+    cb();
+    delete e;
+    return id + label.size();
+  }
+
+  std::uint64_t cold(std::uint64_t id) {
+    log_.push_back(id);
+    return id;
+  }
+
+ private:
+  std::vector<std::uint64_t> log_;
+};

@@ -1,0 +1,27 @@
+// Good: the hot kernel only touches pre-reserved storage and plain
+// arithmetic; the container it grows is reserve()d in the constructor, so
+// steady-state pushes never reallocate. The cold helper may build strings
+// and allocate freely -- it carries no pmx-hot annotation.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+class Drainer {
+ public:
+  explicit Drainer(std::size_t expected) { log_.reserve(expected); }
+
+  // pmx-hot
+  std::uint64_t drain(std::uint64_t id) {
+    log_.push_back(id);
+    total_ += id;
+    return total_;
+  }
+
+  std::string report() const {
+    return "drained " + std::to_string(log_.size());
+  }
+
+ private:
+  std::vector<std::uint64_t> log_;
+  std::uint64_t total_ = 0;
+};

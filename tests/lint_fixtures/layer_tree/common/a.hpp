@@ -1,0 +1,10 @@
+#pragma once
+
+// Half of a two-file include cycle (a <-> b): the analyzer must report the
+// pair as one include-cycle finding anchored at the lexicographically first
+// member (this file).
+#include "common/b.hpp"
+
+namespace fix {
+inline int a() { return b_value + 1; }
+}  // namespace fix

@@ -1,0 +1,8 @@
+#pragma once
+
+// Other half of the a <-> b include cycle.
+#include "common/a.hpp"
+
+namespace fix {
+inline constexpr int b_value = 41;
+}  // namespace fix

@@ -1,0 +1,6 @@
+#pragma once
+
+// Leaf vocabulary header: includes nothing, everyone may include it.
+namespace fix {
+inline int util() { return 0; }
+}  // namespace fix

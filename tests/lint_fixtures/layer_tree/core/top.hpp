@@ -1,0 +1,8 @@
+#pragma once
+
+// Legal: core (layer 5) reaching down to common (layer 0).
+#include "common/util.hpp"
+
+namespace fix {
+inline int top() { return util(); }
+}  // namespace fix

@@ -1,0 +1,10 @@
+#pragma once
+
+// Violation: nic and traffic share layer 3, and (nic, traffic) is not a
+// declared intra-layer edge -- siblings may not include each other unless
+// the contract names the edge explicitly.
+#include "traffic/gen.hpp"
+
+namespace fix {
+inline int uses_traffic() { return gen(); }
+}  // namespace fix

@@ -1,0 +1,10 @@
+#pragma once
+
+// Violation: 'plugins' is not a module the layer contract declares, so the
+// analyzer reports the module itself (once, at line 1) rather than each of
+// its includes.
+#include "common/util.hpp"
+
+namespace fix {
+inline int ext() { return util(); }
+}  // namespace fix

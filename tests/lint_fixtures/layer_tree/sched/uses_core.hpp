@@ -1,0 +1,9 @@
+#pragma once
+
+// Violation: sched (layer 2) reaching UP into core (layer 5). Dependencies
+// may only point down the layer ranks.
+#include "core/top.hpp"
+
+namespace fix {
+inline int uses_core() { return top(); }
+}  // namespace fix

@@ -1,0 +1,8 @@
+#pragma once
+
+// Legal: traffic (layer 3) reaching down to common (layer 0).
+#include "common/util.hpp"
+
+namespace fix {
+inline int gen() { return util(); }
+}  // namespace fix

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fix {
+inline int util() { return 0; }
+}  // namespace fix

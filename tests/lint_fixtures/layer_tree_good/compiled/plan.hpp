@@ -1,0 +1,10 @@
+#pragma once
+
+// compiled -> traffic is the one DECLARED intra-layer edge (both layer 3):
+// compiled schedules are built from traffic descriptions. Legal only
+// because the contract names it in INTRA_LAYER_EDGES.
+#include "traffic/gen.hpp"
+
+namespace fix {
+inline int plan() { return gen(); }
+}  // namespace fix

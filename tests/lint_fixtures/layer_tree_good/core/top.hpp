@@ -1,0 +1,9 @@
+#pragma once
+
+// core (layer 5) -> switching (layer 4) and compiled (layer 3): down-rank.
+#include "compiled/plan.hpp"
+#include "switching/fab.hpp"
+
+namespace fix {
+inline int top() { return fab() + plan(); }
+}  // namespace fix

@@ -1,0 +1,9 @@
+#pragma once
+
+// sched (layer 2) -> sim (layer 1) and common (layer 0): both down-rank.
+#include "common/util.hpp"
+#include "sim/engine.hpp"
+
+namespace fix {
+inline int arb() { return engine() + util(); }
+}  // namespace fix

@@ -1,0 +1,8 @@
+#pragma once
+
+// sim (layer 1) -> common (layer 0): down-rank, legal.
+#include "common/util.hpp"
+
+namespace fix {
+inline int engine() { return util(); }
+}  // namespace fix

@@ -1,0 +1,8 @@
+#pragma once
+
+// switching (layer 4) -> sched (layer 2): down-rank, legal.
+#include "sched/arb.hpp"
+
+namespace fix {
+inline int fab() { return arb(); }
+}  // namespace fix

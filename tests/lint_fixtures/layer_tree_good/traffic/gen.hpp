@@ -1,0 +1,7 @@
+#pragma once
+
+#include "common/util.hpp"
+
+namespace fix {
+inline int gen() { return util(); }
+}  // namespace fix

@@ -1,0 +1,24 @@
+// Bad: iteration and lookup order keyed on raw pointer values. Heap
+// addresses change run to run under ASLR, so any behavior that flows from
+// these containers (or the address-comparing sort) is nondeterministic.
+// Every line below must trip ptr-order.
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+struct Conn {
+  int id = 0;
+};
+
+struct Registry {
+  std::unordered_map<Conn*, int> credits;
+  std::set<Conn*> parked;
+  std::size_t fingerprint(Conn* c) { return std::hash<Conn*>{}(c); }
+};
+
+inline void order(std::vector<Conn*>& v) {
+  std::sort(v.begin(), v.end(), [](const Conn* a, const Conn* b) { return a < b; });
+}

@@ -1,0 +1,26 @@
+// Good: the same registry keyed on stable integer ids, and the sort
+// compares a value field instead of the pointers themselves. Identical
+// behavior on every run regardless of where the heap lands.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+struct Conn {
+  std::uint64_t id = 0;
+};
+
+struct Registry {
+  std::unordered_map<std::uint64_t, int> credits;
+  std::set<std::uint64_t> parked;
+  std::map<std::uint64_t, Conn> by_id;
+};
+
+inline void order(std::vector<Conn*>& v) {
+  // Same shape as the bad fixture's sort, but the comparator orders a
+  // stable value field, not the addresses. Kept on one line so the
+  // analyzer's comparator check actually inspects (and passes) it.
+  std::sort(v.begin(), v.end(), [](const Conn* a, const Conn* b) { return a->id < b->id; });
+}

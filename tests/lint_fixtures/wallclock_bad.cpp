@@ -1,0 +1,24 @@
+// Bad: host wall-clock and environment reads. A simulation whose results
+// depend on when or where it ran cannot be reproduced from its seed; every
+// line below must trip wallclock.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+struct RunStamp {
+  long long wall = 0;
+  long long fine = 0;
+  const char* trace = nullptr;
+};
+
+inline RunStamp stamp() {
+  RunStamp s;
+  s.wall = std::chrono::system_clock::now().time_since_epoch().count();
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  s.fine = ts.tv_sec;
+  s.trace = std::getenv("PMX_TRACE");
+  time_t now = 0;
+  time(&now);
+  return s;
+}

@@ -1,4 +1,4 @@
-#include "core/params.hpp"
+#include "switching/params.hpp"
 
 #include <gtest/gtest.h>
 

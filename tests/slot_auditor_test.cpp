@@ -2,7 +2,7 @@
 // vs recovery mode, resync hook invocation, and recovery-episode latency
 // bookkeeping.
 
-#include "core/slot_auditor.hpp"
+#include "switching/slot_auditor.hpp"
 
 #include <gtest/gtest.h>
 

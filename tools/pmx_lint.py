@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""pmx-lint: determinism & hygiene analyzer for the pmx codebase.
+"""pmx-lint: line-local determinism & hygiene rules for the pmx codebase.
 
 The reproduction's correctness claims rest on bit-exact determinism: gate
 counts, the SL fast/ref differential oracle, and the byte-identical
@@ -53,6 +53,12 @@ Baseline mode: ``--baseline FILE`` loads a committed JSON baseline and only
 rule plus the whitespace-normalized source line, so unrelated edits moving a
 known finding up or down a file do not break CI.
 
+The whole-program passes (layer contract, include cycles, determinism taint,
+hot-path allocation) live in pmx_analyze.py, which also runs these rules:
+``pmx_analyze.py`` is the single entry point covering everything. The lexer,
+Finding/fingerprint, allow() parsing, and baseline machinery are shared via
+pmx_lexer.py, so there is exactly one suppression mechanism.
+
 Exit status: 0 when no (new) findings, 1 when findings remain, 2 on usage
 errors.
 """
@@ -60,16 +66,20 @@ errors.
 from __future__ import annotations
 
 import argparse
-import hashlib
-import json
 import re
 import sys
 from pathlib import Path
 
-SOURCE_EXTENSIONS = (".hpp", ".cpp")
-DEFAULT_ROOTS = ("src", "bench", "tests", "examples", "tools")
-# Fixture corpus intentionally violates every rule; never lint it as code.
-EXCLUDED_PARTS = ("lint_fixtures",)
+from pmx_lexer import (  # noqa: F401  (re-exported for importers)
+    DEFAULT_ROOTS,
+    Finding,
+    allowed_rules,
+    discover,
+    load_baseline,
+    strip_comments_and_strings,
+    subtract_baseline,
+    write_baseline,
+)
 
 # Files allowed to touch raw randomness primitives: the Rng wrapper itself.
 RAW_RAND_EXEMPT = ("src/common/rng.hpp", "src/common/rng.cpp")
@@ -104,8 +114,6 @@ FLOAT_ACCUM_WHITELIST = (
 # (VOQs, admission) and the switch paradigms. Queue growth elsewhere (test
 # scaffolding, tooling) is out of scope for unbounded-queue.
 UNBOUNDED_QUEUE_ROOTS = ("src/nic/", "src/switching/")
-
-ALLOW_RE = re.compile(r"pmx-lint:\s*allow\(([a-zA-Z0-9_,\s-]+)\)")
 
 RAW_RAND_RE = re.compile(
     r"(?<![\w:])(?:std::)?"
@@ -169,128 +177,6 @@ RULES = {
     "admission controller) or allow() a structurally bounded site",
     "include-guard": "header does not start with #pragma once",
 }
-
-
-class Finding:
-    __slots__ = ("path", "line", "rule", "message", "code")
-
-    def __init__(self, path: str, line: int, rule: str, message: str, code: str):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-        self.code = code
-
-    def fingerprint(self) -> str:
-        normalized = " ".join(self.code.split())
-        digest = hashlib.sha1(
-            f"{self.rule}\x00{normalized}".encode()
-        ).hexdigest()
-        return digest[:16]
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def strip_comments_and_strings(text: str):
-    """Return (code_lines, comment_lines): per-line source with comments and
-    string/char literal bodies blanked out, and per-line comment text (for
-    allow() extraction). Handles //, /* */, "...", '...', and R"(...)"."""
-    code = []
-    comments = []
-    code_line: list[str] = []
-    comment_line: list[str] = []
-    i = 0
-    n = len(text)
-    state = "code"  # code | line_comment | block_comment | string | char | raw
-    raw_delim = ""
-    while i < n:
-        ch = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if ch == "\n":
-            code.append("".join(code_line))
-            comments.append("".join(comment_line))
-            code_line, comment_line = [], []
-            if state == "line_comment":
-                state = "code"
-            i += 1
-            continue
-        if state == "code":
-            if ch == "/" and nxt == "/":
-                state = "line_comment"
-                i += 2
-                continue
-            if ch == "/" and nxt == "*":
-                state = "block_comment"
-                i += 2
-                continue
-            if ch == "R" and nxt == '"':
-                m = re.match(r'R"([^(\s]*)\(', text[i:])
-                if m:
-                    raw_delim = m.group(1)
-                    state = "raw"
-                    code_line.append('R""')
-                    i += len(m.group(0))
-                    continue
-            if ch == '"':
-                state = "string"
-                code_line.append('"')
-                i += 1
-                continue
-            if ch == "'":
-                state = "char"
-                code_line.append("'")
-                i += 1
-                continue
-            code_line.append(ch)
-            i += 1
-        elif state == "line_comment":
-            comment_line.append(ch)
-            i += 1
-        elif state == "block_comment":
-            if ch == "*" and nxt == "/":
-                state = "code"
-                i += 2
-            else:
-                comment_line.append(ch)
-                i += 1
-        elif state == "string":
-            if ch == "\\":
-                i += 2
-            elif ch == '"':
-                code_line.append('"')
-                state = "code"
-                i += 1
-            else:
-                i += 1
-        elif state == "char":
-            if ch == "\\":
-                i += 2
-            elif ch == "'":
-                code_line.append("'")
-                state = "code"
-                i += 1
-            else:
-                i += 1
-        elif state == "raw":
-            end = f'){raw_delim}"'
-            if text.startswith(end, i):
-                state = "code"
-                i += len(end)
-            else:
-                i += 1
-    if code_line or comment_line or (text and not text.endswith("\n")):
-        code.append("".join(code_line))
-        comments.append("".join(comment_line))
-    return code, comments
-
-
-def allowed_rules(comment: str) -> set[str]:
-    rules: set[str] = set()
-    for m in ALLOW_RE.finditer(comment):
-        for rule in m.group(1).split(","):
-            rules.add(rule.strip())
-    return rules
 
 
 def collect_names(pattern: re.Pattern, lines) -> set[str]:
@@ -400,34 +286,6 @@ def lint_file(path: Path, rel: str, rules: set[str]) -> list[Finding]:
     return findings
 
 
-def discover(root: Path, paths: list[str]) -> list[Path]:
-    """Explicit file arguments are always linted; directory walks skip the
-    fixture corpus (which violates every rule on purpose)."""
-    files: list[Path] = []
-    targets = paths if paths else list(DEFAULT_ROOTS)
-    for target in targets:
-        p = (root / target) if not Path(target).is_absolute() else Path(target)
-        if p.is_file():
-            files.append(p)
-        elif p.is_dir():
-            files.extend(
-                f
-                for ext in SOURCE_EXTENSIONS
-                for f in sorted(p.rglob(f"*{ext}"))
-                if not any(part in EXCLUDED_PARTS for part in f.parts)
-            )
-    return files
-
-
-def load_baseline(path: Path) -> dict[str, int]:
-    data = json.loads(path.read_text(encoding="utf-8"))
-    counts: dict[str, int] = {}
-    for entry in data.get("findings", []):
-        key = f"{entry['file']}\x00{entry['rule']}\x00{entry['fingerprint']}"
-        counts[key] = counts.get(key, 0) + 1
-    return counts
-
-
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="pmx-lint", description=__doc__,
@@ -477,29 +335,14 @@ def main(argv: list[str]) -> int:
         findings.extend(lint_file(f, rel, active))
 
     if args.write_baseline:
-        payload = {
-            "findings": [
-                {"file": fi.path, "rule": fi.rule,
-                 "fingerprint": fi.fingerprint()}
-                for fi in findings
-            ]
-        }
-        Path(args.write_baseline).write_text(
-            json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        write_baseline(Path(args.write_baseline), findings)
         print(f"pmx-lint: wrote baseline with {len(findings)} finding(s) "
               f"to {args.write_baseline}")
         return 0
 
     if args.baseline:
-        baseline = load_baseline(Path(args.baseline))
-        fresh: list[Finding] = []
-        for fi in findings:
-            key = f"{fi.path}\x00{fi.rule}\x00{fi.fingerprint()}"
-            if baseline.get(key, 0) > 0:
-                baseline[key] -= 1
-            else:
-                fresh.append(fi)
-        findings = fresh
+        findings = subtract_baseline(findings,
+                                     load_baseline(Path(args.baseline)))
 
     if not args.quiet:
         for fi in findings:
