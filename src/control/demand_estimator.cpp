@@ -1,0 +1,49 @@
+#include "control/demand_estimator.hpp"
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+DemandEstimator::DemandEstimator(std::size_t num_nodes,
+                                 std::uint32_t ewma_shift)
+    : n_(num_nodes),
+      shift_(ewma_shift),
+      ewma_(num_nodes * num_nodes, 0),
+      window_(num_nodes * num_nodes, 0) {
+  PMX_CHECK(n_ >= 2, "demand estimator needs at least two nodes");
+  PMX_CHECK(shift_ >= 1 && shift_ <= 16, "EWMA shift must be in [1, 16]");
+}
+
+void DemandEstimator::observe(NodeId u, NodeId v, std::uint64_t bytes) {
+  window_[index(u, v)] += bytes;
+}
+
+void DemandEstimator::roll() {
+  ++rolls_;
+  for (std::size_t i = 0; i < ewma_.size(); ++i) {
+    // Signed gap so decay (sample below the average) moves the accumulator
+    // down; C++20 guarantees arithmetic right shift on negative values, so
+    // the step is floor(gap / 2^shift) -- an EWMA that always reaches zero.
+    const auto target =
+        static_cast<std::int64_t>(window_[i] << kFracBits);
+    const auto gap = target - static_cast<std::int64_t>(ewma_[i]);
+    ewma_[i] = static_cast<std::uint64_t>(static_cast<std::int64_t>(ewma_[i]) +
+                                          (gap >> shift_));
+    window_[i] = 0;
+  }
+}
+
+std::vector<DemandEstimator::Demand> DemandEstimator::snapshot() const {
+  std::vector<Demand> out;
+  for (NodeId u = 0; u < n_; ++u) {
+    for (NodeId v = 0; v < n_; ++v) {
+      const std::uint64_t d = demand(u, v);
+      if (d > 0) {
+        out.push_back(Demand{u, v, d});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pmx

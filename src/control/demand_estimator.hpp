@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/message.hpp"
+
+namespace pmx {
+
+/// Per-(src, dst) demand estimator behind the re-optimization service loop.
+///
+/// Delivery and VOQ-occupancy bytes observed since the last roll() are
+/// accumulated into a window sample; roll() folds the sample into a
+/// fixed-point EWMA:
+///
+///   ewma += ((sample << kFracBits) - ewma) >> shift
+///
+/// All arithmetic is integral (pmx-lint float rules apply to control/), the
+/// update is a pure function of the observation sequence, and state is a
+/// flat row-major vector walked in index order, so snapshots are
+/// deterministic regardless of observation interleaving within a window.
+class DemandEstimator {
+ public:
+  /// Fixed-point fractional bits of the EWMA accumulator.
+  static constexpr std::uint32_t kFracBits = 16;
+
+  /// One demand pair of a snapshot, in (src, dst) index order.
+  struct Demand {
+    NodeId src = 0;
+    NodeId dst = 0;
+    std::uint64_t demand = 0;  ///< integer part of the EWMA, in bytes
+  };
+
+  DemandEstimator(std::size_t num_nodes, std::uint32_t ewma_shift);
+
+  /// Account `bytes` of demand evidence for (u, v) in the current window
+  /// (slot deliveries and, optionally, VOQ backlog).
+  void observe(NodeId u, NodeId v, std::uint64_t bytes);
+
+  /// Close the window: fold every pair's sample into its EWMA and zero the
+  /// samples. Windows with no observations decay toward zero.
+  void roll();
+
+  /// Smoothed demand of (u, v) in bytes (integer part of the EWMA).
+  [[nodiscard]] std::uint64_t demand(NodeId u, NodeId v) const {
+    return ewma_[index(u, v)] >> kFracBits;
+  }
+  /// Raw fixed-point accumulator (differential tests).
+  [[nodiscard]] std::uint64_t raw(NodeId u, NodeId v) const {
+    return ewma_[index(u, v)];
+  }
+
+  /// Every pair with nonzero smoothed demand, in (src, dst) order.
+  [[nodiscard]] std::vector<Demand> snapshot() const;
+
+  [[nodiscard]] std::size_t num_nodes() const { return n_; }
+  [[nodiscard]] std::uint32_t shift() const { return shift_; }
+  [[nodiscard]] std::uint64_t rolls() const { return rolls_; }
+
+ private:
+  [[nodiscard]] std::size_t index(NodeId u, NodeId v) const {
+    return u * n_ + v;
+  }
+
+  std::size_t n_;
+  std::uint32_t shift_;
+  std::uint64_t rolls_ = 0;
+  std::vector<std::uint64_t> ewma_;    ///< fixed-point, kFracBits fractional
+  std::vector<std::uint64_t> window_;  ///< bytes observed since last roll
+};
+
+}  // namespace pmx

@@ -1,0 +1,118 @@
+#include "control/slot_optimizer.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace pmx {
+
+SlotOptimizer::SlotOptimizer(const Options& options) : opt_(options) {
+  PMX_CHECK(opt_.num_nodes >= 2, "slot optimizer needs at least two nodes");
+  PMX_CHECK(opt_.num_slots >= 1, "slot optimizer needs at least one slot");
+  PMX_CHECK(opt_.work_budget >= 1, "work budget must be positive");
+}
+
+std::size_t SlotOptimizer::solve_passes(std::size_t pairs_examined) const {
+  const std::size_t batches =
+      (pairs_examined + opt_.num_nodes - 1) / opt_.num_nodes;
+  return batches + opt_.num_slots;
+}
+
+std::int64_t SlotOptimizer::baseline_score(
+    const std::vector<DemandEstimator::Demand>& demand,
+    const std::vector<BitMatrix>& current) const {
+  std::int64_t covered = 0;
+  for (const auto& d : demand) {
+    for (const auto& table : current) {
+      if (table.get(d.src, d.dst)) {
+        covered += static_cast<std::int64_t>(d.demand);
+        break;
+      }
+    }
+  }
+  return covered;
+}
+
+SlotOptimizer::Proposal SlotOptimizer::solve(
+    const std::vector<DemandEstimator::Demand>& demand,
+    const std::vector<BitMatrix>& current) const {
+  const std::size_t n = opt_.num_nodes;
+  const std::size_t k = opt_.num_slots;
+
+  // Budgeted greedy: heaviest demand first, ties by (src, dst) so the
+  // placement order is a total function of the snapshot.
+  std::vector<DemandEstimator::Demand> order = demand;
+  std::stable_sort(order.begin(), order.end(),
+                   [](const DemandEstimator::Demand& a,
+                      const DemandEstimator::Demand& b) {
+                     if (a.demand != b.demand) {
+                       return a.demand > b.demand;
+                     }
+                     if (a.src != b.src) {
+                       return a.src < b.src;
+                     }
+                     return a.dst < b.dst;
+                   });
+  if (order.size() > opt_.work_budget) {
+    order.resize(opt_.work_budget);
+  }
+
+  Proposal p;
+  p.tables.assign(k, BitMatrix(n));
+  p.pairs_examined = order.size();
+
+  // Per-slot port occupancy of the proposal under construction.
+  std::vector<std::vector<char>> row_used(k, std::vector<char>(n, 0));
+  std::vector<std::vector<char>> col_used(k, std::vector<char>(n, 0));
+
+  const auto live_in = [&](NodeId u, NodeId v) -> std::size_t {
+    for (std::size_t s = 0; s < current.size() && s < k; ++s) {
+      if (current[s].get(u, v)) {
+        return s;
+      }
+    }
+    return k;
+  };
+  const auto place = [&](std::size_t s, NodeId u, NodeId v) {
+    p.tables[s].set(u, v);
+    row_used[s][u] = 1;
+    col_used[s][v] = 1;
+  };
+
+  for (const auto& d : order) {
+    // Crosspoint stability first: keep the pair in its live slot when that
+    // slot's ports are still free, so unchanged demand costs no change.
+    const std::size_t home = live_in(d.src, d.dst);
+    if (home < k && row_used[home][d.src] == 0 &&
+        col_used[home][d.dst] == 0) {
+      place(home, d.src, d.dst);
+      p.covered += d.demand;
+      continue;
+    }
+    for (std::size_t s = 0; s < k; ++s) {
+      if (row_used[s][d.src] == 0 && col_used[s][d.dst] == 0) {
+        place(s, d.src, d.dst);
+        p.covered += d.demand;
+        break;
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < k; ++s) {
+    const BitMatrix* live = s < current.size() ? &current[s] : nullptr;
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        const bool now = live != nullptr && live->get(u, v);
+        if (p.tables[s].get(u, v) != now) {
+          ++p.changed;
+        }
+      }
+    }
+  }
+  p.score = static_cast<std::int64_t>(p.covered) -
+            static_cast<std::int64_t>(opt_.change_penalty) *
+                static_cast<std::int64_t>(p.changed);
+  return p;
+}
+
+}  // namespace pmx

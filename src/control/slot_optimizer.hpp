@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitmatrix.hpp"
+#include "control/demand_estimator.hpp"
+
+namespace pmx {
+
+/// Budgeted greedy slot-table re-solver (Minaeva et al.'s budgeted framing
+/// of TDM slot allocation, scaled to the 80 ns SL-array cost model).
+///
+/// Given a demand snapshot and the live K configuration registers, proposes
+/// new partial-permutation tables maximizing covered demand minus a
+/// reconfiguration penalty per changed crosspoint. Greedy by (demand desc,
+/// src, dst), crosspoint-stable: a pair that is already realized in a live
+/// slot is re-placed in that same slot whenever its ports are still free
+/// there, so the change cost of a stable demand pattern is zero.
+///
+/// Everything is integral and index-ordered; for one (demand, current)
+/// input the proposal is byte-identical across runs and thread counts.
+class SlotOptimizer {
+ public:
+  struct Options {
+    std::size_t num_nodes = 0;
+    std::size_t num_slots = 1;         ///< K configuration registers
+    std::uint64_t change_penalty = 0;  ///< demand units per changed crosspoint
+    std::size_t work_budget = 256;     ///< max demand pairs examined
+  };
+
+  struct Proposal {
+    std::vector<BitMatrix> tables;     ///< K partial permutations
+    std::uint64_t covered = 0;         ///< demand covered by the tables
+    std::uint64_t changed = 0;         ///< crosspoints differing from live
+    std::int64_t score = 0;            ///< covered - penalty * changed
+    std::size_t pairs_examined = 0;    ///< greedy work actually spent
+  };
+
+  explicit SlotOptimizer(const Options& options);
+
+  /// Propose new tables for `demand` given the live `current` tables
+  /// (`current` may be shorter than K; missing slots count as empty).
+  [[nodiscard]] Proposal solve(const std::vector<DemandEstimator::Demand>& demand,
+                               const std::vector<BitMatrix>& current) const;
+
+  /// Score the live tables against the same demand (coverage only, zero
+  /// change cost) -- the hysteresis baseline a proposal must beat.
+  [[nodiscard]] std::int64_t baseline_score(
+      const std::vector<DemandEstimator::Demand>& demand,
+      const std::vector<BitMatrix>& current) const;
+
+  /// Staging latency of one solve under the 80 ns pass cost model: one
+  /// scheduler pass per examined batch of `num_nodes` pairs, plus one pass
+  /// per configuration register written.
+  [[nodiscard]] std::size_t solve_passes(std::size_t pairs_examined) const;
+
+  [[nodiscard]] const Options& options() const { return opt_; }
+
+ private:
+  Options opt_;
+};
+
+}  // namespace pmx

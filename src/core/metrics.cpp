@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "control/reconfig_applier.hpp"
 
 namespace pmx {
 
@@ -113,6 +114,32 @@ void fill_ctrl_metrics(const Network& network, RunMetrics& m) {
   }
 }
 
+void fill_reopt_metrics(const Network& network, RunMetrics& m) {
+  const ReoptStats* stats = network.reopt_stats();
+  if (stats == nullptr) {
+    return;
+  }
+  m.reopt_solves = stats->solves;
+  m.reopt_proposals = stats->proposals;
+  m.reopt_applies = stats->applies;
+  m.reopt_rollbacks = stats->rollbacks;
+  m.reopt_cmds_lost = stats->cmds_lost;
+  m.reopt_invalidated_ctrl = stats->invalidated_ctrl;
+  m.reopt_dip_depth_bytes = stats->dip_depth_bytes;
+  m.reopt_dip_duration_ns = static_cast<double>(stats->dip_duration_ns);
+  if (!stats->apply_latency_ns.empty()) {
+    std::vector<std::int64_t> lat = stats->apply_latency_ns;
+    std::ranges::sort(lat);
+    m.reopt_apply_latency_p50_ns =
+        static_cast<double>(lat[(lat.size() - 1) / 2]);
+    const std::size_t p99_idx =
+        std::min(lat.size() - 1,
+                 static_cast<std::size_t>(0.99 * static_cast<double>(
+                                                     lat.size())));
+    m.reopt_apply_latency_p99_ns = static_cast<double>(lat[p99_idx]);
+  }
+}
+
 }  // namespace
 
 RunMetrics compute_metrics(const Workload& workload, const Network& network) {
@@ -125,6 +152,7 @@ RunMetrics compute_metrics(const Workload& workload, const Network& network) {
     fill_fault_metrics(network, m);
     fill_overload_metrics(network, m);
     fill_ctrl_metrics(network, m);
+    fill_reopt_metrics(network, m);
     return m;
   }
 
@@ -155,6 +183,7 @@ RunMetrics compute_metrics(const Workload& workload, const Network& network) {
   fill_fault_metrics(network, m);
   fill_overload_metrics(network, m);
   fill_ctrl_metrics(network, m);
+  fill_reopt_metrics(network, m);
   return m;
 }
 

@@ -84,6 +84,22 @@ struct RunMetrics {
   double resync_latency_mean_ns = 0.0;
   double resync_latency_max_ns = 0.0;
 
+  // --- Re-optimization service metrics (zero when the service is off) -----
+  std::uint64_t reopt_solves = 0;       ///< service ticks that ran the solver
+  std::uint64_t reopt_proposals = 0;    ///< proposals staged (incl. chaos)
+  std::uint64_t reopt_applies = 0;      ///< proposals applied to the fabric
+  std::uint64_t reopt_rollbacks = 0;    ///< applies reverted by the guard
+  std::uint64_t reopt_cmds_lost = 0;    ///< reconfig commands lost in transit
+  /// In-flight control messages invalidated by apply/rollback resyncs.
+  std::uint64_t reopt_invalidated_ctrl = 0;
+  /// Stage-to-apply latency percentiles over all applied proposals.
+  double reopt_apply_latency_p50_ns = 0.0;
+  double reopt_apply_latency_p99_ns = 0.0;
+  /// Worst probation goodput shortfall (baseline-expected minus delivered
+  /// bytes) and total time spent in probations that ended in rollback.
+  std::uint64_t reopt_dip_depth_bytes = 0;
+  double reopt_dip_duration_ns = 0.0;
+
   friend bool operator==(const RunMetrics&, const RunMetrics&) = default;
 };
 

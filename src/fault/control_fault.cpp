@@ -15,6 +15,8 @@ const char* to_string(CtrlMsg kind) {
       return "grant";
     case CtrlMsg::kRelease:
       return "release";
+    case CtrlMsg::kReconfig:
+      return "reconfig";
   }
   return "unknown";
 }
@@ -25,6 +27,8 @@ double ControlFaultParams::effective_loss(CtrlMsg kind) const {
       return grant_loss < 0.0 ? loss : grant_loss;
     case CtrlMsg::kRelease:
       return release_loss < 0.0 ? loss : release_loss;
+    case CtrlMsg::kReconfig:
+      return reconfig_loss < 0.0 ? loss : reconfig_loss;
     case CtrlMsg::kRequest:
       break;
   }
@@ -41,6 +45,7 @@ void ControlFaultParams::validate(TimeNs slot_length) const {
   PMX_CHECK(delay >= TimeNs::zero(), "negative control delay");
   PMX_CHECK(grant_loss <= 1.0, "grant loss rate must be <= 1");
   PMX_CHECK(release_loss <= 1.0, "release loss rate must be <= 1");
+  PMX_CHECK(reconfig_loss <= 1.0, "reconfig loss rate must be <= 1");
   PMX_CHECK(watchdog_timeout > TimeNs::zero(),
             "grant watchdog timeout must be positive: a zero timeout would "
             "reissue every request in the same instant it was sent");
@@ -136,19 +141,35 @@ TimeNs ControlFaultModel::watchdog_delay(std::size_t attempt) const {
 }
 
 std::uint64_t ControlFaultModel::total_sent() const {
-  return stats_[0].sent + stats_[1].sent + stats_[2].sent;
+  std::uint64_t total = 0;
+  for (const KindStats& st : stats_) {
+    total += st.sent;
+  }
+  return total;
 }
 
 std::uint64_t ControlFaultModel::total_dropped() const {
-  return stats_[0].dropped + stats_[1].dropped + stats_[2].dropped;
+  std::uint64_t total = 0;
+  for (const KindStats& st : stats_) {
+    total += st.dropped;
+  }
+  return total;
 }
 
 std::uint64_t ControlFaultModel::total_corrupted() const {
-  return stats_[0].corrupted + stats_[1].corrupted + stats_[2].corrupted;
+  std::uint64_t total = 0;
+  for (const KindStats& st : stats_) {
+    total += st.corrupted;
+  }
+  return total;
 }
 
 std::uint64_t ControlFaultModel::total_delayed() const {
-  return stats_[0].delayed + stats_[1].delayed + stats_[2].delayed;
+  std::uint64_t total = 0;
+  for (const KindStats& st : stats_) {
+    total += st.delayed;
+  }
+  return total;
 }
 
 }  // namespace pmx

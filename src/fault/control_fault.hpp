@@ -10,16 +10,20 @@
 
 namespace pmx {
 
-/// The three message classes of the scheduling circuit's control path
-/// (Section 4): a NIC raising a request bit, the scheduler's grant/revoke
-/// reply, and the NIC dropping its request (release). The data-plane
-/// FaultModel never touches these; this enum keys the control-plane fault
-/// injector.
+/// The message classes of the scheduling circuit's control path (Section
+/// 4): a NIC raising a request bit, the scheduler's grant/revoke reply, the
+/// NIC dropping its request (release), and the re-optimization service's
+/// apply command (reconfig, DESIGN.md §14). The data-plane FaultModel never
+/// touches these; this enum keys the control-plane fault injector.
 enum class CtrlMsg : std::uint8_t {
   kRequest = 0,
   kGrant = 1,
   kRelease = 2,
+  kReconfig = 3,
 };
+
+/// Number of CtrlMsg kinds (stats/script array extents).
+inline constexpr std::size_t kNumCtrlMsgKinds = 4;
 
 [[nodiscard]] const char* to_string(CtrlMsg kind);
 
@@ -48,6 +52,9 @@ struct ControlFaultParams {
   /// zero makes that kind reliable.
   double grant_loss = -1.0;
   double release_loss = -1.0;
+  /// Loss override for the re-optimization service's reconfig commands
+  /// (they ride the same lossy channel as request/grant/release).
+  double reconfig_loss = -1.0;
 
   // --- NIC grant watchdog --------------------------------------------------
   /// How long a NIC waits for evidence of its request (a grant, or data
@@ -76,7 +83,7 @@ struct ControlFaultParams {
   /// True when any control-fault source (or force_enable) is configured.
   [[nodiscard]] bool enabled() const {
     return force_enable || loss > 0.0 || corrupt > 0.0 || delay_rate > 0.0 ||
-           grant_loss > 0.0 || release_loss > 0.0;
+           grant_loss > 0.0 || release_loss > 0.0 || reconfig_loss > 0.0;
   }
 
   /// Effective loss probability for one message kind.
@@ -137,7 +144,7 @@ class ControlFaultModel {
   [[nodiscard]] const KindStats& stats(CtrlMsg kind) const {
     return stats_[static_cast<std::size_t>(kind)];
   }
-  /// Sums over all three kinds.
+  /// Sums over all message kinds.
   [[nodiscard]] std::uint64_t total_sent() const;
   [[nodiscard]] std::uint64_t total_dropped() const;
   [[nodiscard]] std::uint64_t total_corrupted() const;
@@ -147,10 +154,10 @@ class ControlFaultModel {
   Simulator& sim_;
   ControlFaultParams params_;
   Rng rng_;
-  std::array<KindStats, 3> stats_{};
-  std::array<std::size_t, 3> forced_drops_{};
-  std::array<std::size_t, 3> forced_corrupts_{};
-  std::array<std::size_t, 3> forced_delays_{};
+  std::array<KindStats, kNumCtrlMsgKinds> stats_{};
+  std::array<std::size_t, kNumCtrlMsgKinds> forced_drops_{};
+  std::array<std::size_t, kNumCtrlMsgKinds> forced_corrupts_{};
+  std::array<std::size_t, kNumCtrlMsgKinds> forced_delays_{};
 };
 
 }  // namespace pmx

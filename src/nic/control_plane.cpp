@@ -155,18 +155,21 @@ bool ControlPlane::lease_expired(NodeId u, NodeId v) const {
   return sim_.now() - pair(u, v).lease_stamp >= ctrl_.params().lease;
 }
 
-void ControlPlane::begin_resync() {
+std::size_t ControlPlane::begin_resync() {
   ++epoch_;
+  std::size_t invalidated = 0;
   for (PairState& p : pairs_) {
     if (p.watchdog != 0) {
       sim_.cancel(p.watchdog);
       p.watchdog = 0;
     }
+    invalidated += p.pending_request + p.pending_grant;
     p.pending_request = 0;
     p.pending_grant = 0;
     p.attempts = 1;
     p.progressed = false;
   }
+  return invalidated;
 }
 
 void ControlPlane::force_state(NodeId u, NodeId v, bool wants, bool granted) {

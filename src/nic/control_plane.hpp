@@ -97,8 +97,17 @@ class ControlPlane {
 
   // --- Resync (auditor recovery mode) --------------------------------------
   /// Invalidate every in-flight control message and watchdog (epoch bump);
-  /// callers then rebuild both views pair by pair via force_state().
-  void begin_resync();
+  /// callers then rebuild both views pair by pair via force_state(). Returns
+  /// how many in-flight messages were invalidated (disruption accounting for
+  /// the re-optimization service).
+  std::size_t begin_resync();
+  /// Current resync epoch. All epoch guards compare for equality only, so
+  /// the counter is wraparound-safe; see jump_epoch().
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  /// Maintenance/test hook: jump the epoch counter to an arbitrary value
+  /// (e.g. near 2^64 for wraparound soak tests). In-flight messages from the
+  /// old epoch go stale, exactly as under begin_resync().
+  void jump_epoch(std::uint64_t epoch) { epoch_ = epoch; }
   /// Overwrite (u, v)'s state with ground truth: NIC intent and the
   /// scheduler's established bit. Re-arms the watchdog for wanted pairs and
   /// refreshes the lease.

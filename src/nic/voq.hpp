@@ -50,6 +50,15 @@ class VoqSet {
   [[nodiscard]] std::size_t total_depth() const;
   /// Total queued bytes (remaining, across all destinations).
   [[nodiscard]] std::uint64_t total_bytes() const;
+  /// Queued bytes (remaining) awaiting destination `dst` -- the demand
+  /// estimator's occupancy fold. O(depth of that queue).
+  [[nodiscard]] std::uint64_t bytes(NodeId dst) const {
+    std::uint64_t total = 0;
+    for (const Entry& e : queues_[dst]) {
+      total += e.remaining;
+    }
+    return total;
+  }
   /// High-water mark of total_bytes() over the VoqSet's lifetime (bounded-
   /// occupancy assertions in the overload tests).
   [[nodiscard]] std::uint64_t peak_bytes() const { return peak_bytes_; }

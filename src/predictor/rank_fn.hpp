@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hpp"
@@ -120,6 +121,15 @@ struct PolicySpec {
   /// by the deadline/horizon policies (their expiry is the rank itself).
   std::int64_t idle_ttl_ns = 2000;
 
+  /// Per-source-port overrides of the policy's primary knob (timeout/phase
+  /// -> idle horizon ns, deadline -> lifetime ns, counter -> threshold):
+  /// sorted (port, value) pairs parsed from `policy-port-overrides=
+  /// 3:400,7:100`. Ports not listed keep the global knob. Only supported by
+  /// the horizon-encoded policies -- a per-port capacity would change what
+  /// "tracked-set overflow" means and is rejected by validate(). An empty
+  /// list takes the exact global-only code path (byte-identical behavior).
+  std::vector<std::pair<NodeId, std::int64_t>> port_overrides;
+
   /// Policies selectable by name.
   [[nodiscard]] static const std::vector<std::string>& known_policies();
 
@@ -165,7 +175,10 @@ std::unique_ptr<RankFn> make_hybrid_rank(std::size_t capacity,
                                          TimeNs recency_quantum,
                                          TimeNs half_life);
 
-/// Build the rank function a PolicySpec names (validates the spec).
+/// Build the rank function a PolicySpec names (validates the spec). With
+/// port_overrides set, the horizon-encoded policies are wrapped in a
+/// per-port dispatcher that ranks each flow by its source port's knob;
+/// without overrides the global rank object is returned directly.
 std::unique_ptr<RankFn> make_rank_fn(const PolicySpec& spec);
 
 }  // namespace pmx

@@ -18,6 +18,8 @@
 
 namespace pmx {
 
+struct ReoptStats;  // control/reconfig_applier.hpp
+
 /// One hard-fault episode and how long delivery took to resume across the
 /// failed link (metrics: "time to recover").
 struct RecoveryRecord {
@@ -169,6 +171,13 @@ class Network {
   /// The periodic invariant auditor, when params.audit.enabled.
   [[nodiscard]] SlotAuditor* auditor() { return auditor_.get(); }
   [[nodiscard]] const SlotAuditor* auditor() const { return auditor_.get(); }
+
+  // --- Re-optimization service ---------------------------------------------
+  /// Disruption accounting of the online re-optimization service loop, or
+  /// null for paradigms without one (or with the service disabled).
+  [[nodiscard]] virtual const ReoptStats* reopt_stats() const {
+    return nullptr;
+  }
 
  protected:
   /// Paradigm-specific acceptance of a submitted message.

@@ -22,6 +22,7 @@ void SystemParams::validate() const {
   ctrl.validate(slot_length);
   audit.validate();
   admission.validate();
+  reopt.validate();
 }
 
 }  // namespace pmx

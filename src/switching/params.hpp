@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/time.hpp"
+#include "control/reopt_params.hpp"
 #include "fabric/link.hpp"
 #include "fault/control_fault.hpp"
 #include "fault/fault_model.hpp"
@@ -66,6 +67,11 @@ struct SystemParams {
   /// in which case no admission machinery runs and the system behaves
   /// bit-identically to the unbounded design.
   AdmissionParams admission{};
+
+  /// Online slot-table re-optimization service loop (DESIGN.md §14).
+  /// Disabled by default (period_slots == 0): no service is instantiated
+  /// and the system behaves bit-identically to the static design.
+  ReoptParams reopt{};
 
   [[nodiscard]] LinkModel link_model() const { return LinkModel{link}; }
 

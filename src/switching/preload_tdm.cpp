@@ -54,9 +54,31 @@ PreloadTdmNetwork::PreloadTdmNetwork(Simulator& sim,
         sim, *control_fault(), po, counters(),
         [this](NodeId u, NodeId v, bool value) { apply_request(u, v, value); });
   }
+  if (params.reopt.enabled()) {
+    demand_ = std::make_unique<DemandEstimator>(params.num_nodes,
+                                                params.reopt.ewma_shift);
+    demand_clock_ = std::make_unique<Clock>(
+        sim,
+        params.slot_length * static_cast<std::int64_t>(
+                                 params.reopt.period_slots),
+        [this] { on_demand_roll(); });
+    demand_clock_->start();
+  }
   maybe_advance_phase();  // skips leading empty phases
   fill_free_slots();
   slot_clock_.start();
+}
+
+void PreloadTdmNetwork::on_demand_roll() {
+  if (params_.reopt.fold_occupancy) {
+    for (NodeId u = 0; u < params_.num_nodes; ++u) {
+      voqs_[u].pending().for_each_set([&](std::size_t v) {
+        demand_->observe(u, static_cast<NodeId>(v),
+                         voqs_[u].bytes(static_cast<NodeId>(v)));
+      });
+    }
+  }
+  demand_->roll();
 }
 
 void PreloadTdmNetwork::apply_request(NodeId u, NodeId v, bool value) {
@@ -198,6 +220,10 @@ void PreloadTdmNetwork::maybe_advance_phase() {
 }
 
 void PreloadTdmNetwork::fill_free_slots() {
+  if (std::all_of(slot_config_.begin(), slot_config_.end(),
+                  [](const auto& s) { return s.has_value(); })) {
+    return;  // nothing to fill; skip the ranking work entirely
+  }
   const PhasePlan& phase = plan_.phases[phase_];
   // Pending = not loaded and not drained. Prefer configurations that some
   // node's head-of-line message needs right now; break ties by index (the
@@ -211,24 +237,49 @@ void PreloadTdmNetwork::fill_free_slots() {
       }
     });
   }
+  // Estimator stage of the re-optimization service: once the EWMA has
+  // rolled at least once, rank pending configurations by smoothed measured
+  // demand instead, which survives churn that instantaneous head-of-line
+  // bytes cannot see. Ties keep the compiler's index order.
+  std::vector<std::uint64_t> est_demand;
+  if (demand_ != nullptr && demand_->rolls() > 0) {
+    est_demand.assign(phase.configs.size(), 0);
+    for (const DemandEstimator::Demand& d : demand_->snapshot()) {
+      const std::size_t cfg = phase.config_of(d.src, d.dst);
+      if (cfg != PhasePlan::kNoConfig) {
+        est_demand[cfg] += d.demand;
+      }
+    }
+  }
   const auto loaded = [&](std::size_t cfg) {
     return std::any_of(slot_config_.begin(), slot_config_.end(),
                        [&](const auto& s) { return s == cfg; });
   };
   const auto next_pending = [&]() -> std::size_t {
-    std::size_t best = PhasePlan::kNoConfig;
+    std::size_t hol = PhasePlan::kNoConfig;   // lowest index, head demand
+    std::size_t idle = PhasePlan::kNoConfig;  // lowest index, pending at all
+    std::size_t ranked = PhasePlan::kNoConfig;
+    std::uint64_t ranked_demand = 0;
     for (std::size_t c = 0; c < phase.configs.size(); ++c) {
       if (config_sent_[c] >= phase.config_bytes[c] || loaded(c)) {
         continue;
       }
-      if (head_demand[c] > 0) {
-        return c;  // lowest-index config with live demand
+      if (idle == PhasePlan::kNoConfig) {
+        idle = c;
       }
-      if (best == PhasePlan::kNoConfig) {
-        best = c;
+      if (hol == PhasePlan::kNoConfig && head_demand[c] > 0) {
+        hol = c;
+      }
+      if (!est_demand.empty() && est_demand[c] > ranked_demand) {
+        ranked = c;  // strict > keeps the lowest index on ties
+        ranked_demand = est_demand[c];
       }
     }
-    return best;
+    if (ranked != PhasePlan::kNoConfig) {
+      counters().counter("reopt_ranked_loads") += 1;
+      return ranked;
+    }
+    return hol != PhasePlan::kNoConfig ? hol : idle;
   };
 
   for (std::size_t s = 0; s < slot_config_.size(); ++s) {
@@ -293,6 +344,9 @@ void PreloadTdmNetwork::on_slot_tick() {
         }
       }
       transmitted += sent;
+      if (demand_ != nullptr && sent > 0) {
+        demand_->observe(u, v, sent);
+      }
       if (plane_ && sent > 0) {
         plane_->note_progress(u, v);
         plane_->refresh_lease(u, v);

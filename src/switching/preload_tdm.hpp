@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "compiled/plan.hpp"
+#include "control/demand_estimator.hpp"
 #include "fabric/crossbar.hpp"
 #include "nic/control_plane.hpp"
 #include "nic/voq.hpp"
@@ -35,6 +36,15 @@ class PreloadTdmNetwork final : public Network {
   [[nodiscard]] const TdmScheduler& scheduler() const { return sched_; }
   [[nodiscard]] std::size_t current_phase() const { return phase_; }
   [[nodiscard]] std::uint64_t queued_bytes() const;
+
+  /// The EWMA demand estimator driving configuration load ranking, when
+  /// params.reopt.enabled(). Preloaded plans are immutable (the compiler
+  /// owns the tables), so this paradigm uses the service loop's estimator
+  /// stage only: pending configurations are ranked by smoothed measured
+  /// demand instead of instantaneous head-of-line bytes.
+  [[nodiscard]] const DemandEstimator* demand_estimator() const {
+    return demand_.get();
+  }
 
  protected:
   void do_submit(const Message& msg) override;
@@ -67,6 +77,9 @@ class PreloadTdmNetwork final : public Network {
   void lease_scan();
   /// Load pending configurations of the current phase into free slots.
   void fill_free_slots();
+  /// Demand-window roll tick (reopt service period): fold VOQ occupancy
+  /// into the window, then roll the EWMA.
+  void on_demand_roll();
   /// True when every configuration of the current phase has drained.
   [[nodiscard]] bool phase_drained() const;
   /// Move to the next phase once the current one drains.
@@ -94,6 +107,11 @@ class PreloadTdmNetwork final : public Network {
   std::vector<std::optional<std::size_t>> slot_config_;
   /// Consecutive slots with queued traffic but no transmission.
   std::uint64_t stall_slots_ = 0;
+
+  /// Estimator stage of the re-optimization service (load ranking only);
+  /// nullptr when params.reopt is disabled.
+  std::unique_ptr<DemandEstimator> demand_;
+  std::unique_ptr<Clock> demand_clock_;
 
   Clock slot_clock_;
 };

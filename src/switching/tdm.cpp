@@ -72,8 +72,62 @@ TdmNetwork::TdmNetwork(Simulator& sim, const SystemParams& params,
         sim, *control_fault(), po, counters(),
         [this](NodeId u, NodeId v, bool value) { apply_request(u, v, value); });
   }
+  if (params.reopt.enabled()) {
+    ReoptService::Hooks hooks;
+    hooks.applier.apply = [this](const std::vector<BitMatrix>& tables,
+                                 bool pinned) {
+      return apply_reopt(tables, pinned);
+    };
+    hooks.applier.capture = [this] {
+      std::vector<BitMatrix> tables;
+      tables.reserve(sched_.num_slots());
+      for (std::size_t s = 0; s < sched_.num_slots(); ++s) {
+        tables.push_back(sched_.config(s));
+      }
+      return tables;
+    };
+    hooks.applier.delivered_bytes = [this] { return delivered_bytes(); };
+    hooks.applier.violations = [this]() -> std::uint64_t {
+      return auditor() ? auditor()->stats().violations : 0;
+    };
+    hooks.visit_queues =
+        [this](const std::function<void(NodeId, NodeId, std::uint64_t)>& fn) {
+          for (NodeId u = 0; u < params_.num_nodes; ++u) {
+            voqs_[u].pending().for_each_set([&](std::size_t v) {
+              fn(u, static_cast<NodeId>(v), voqs_[u].bytes(v));
+            });
+          }
+        };
+    reopt_ = std::make_unique<ReoptService>(
+        sim, control_fault(), params.reopt, params.num_nodes, params.mux_degree,
+        params.slot_length, params.control_wire_latency(),
+        params.scheduler_latency, std::move(hooks));
+    reopt_->start();
+  }
   slot_clock_.start();
   sl_clock_.start();
+}
+
+std::uint64_t TdmNetwork::apply_reopt(const std::vector<BitMatrix>& tables,
+                                      bool pinned) {
+  PMX_CHECK(tables.size() == sched_.num_slots(),
+            "reopt proposal must cover every configuration register");
+  // The new tables own the fabric: discard every learned (unpinned) slot and
+  // hold latch, then write the configuration registers directly.
+  sched_.flush_dynamic();
+  predictor_->on_flush();
+  for (std::size_t s = 0; s < tables.size(); ++s) {
+    if (tables[s].none()) {
+      sched_.unload(s);
+    } else {
+      sched_.preload(s, tables[s], pinned);
+    }
+  }
+  counters().counter(pinned ? "reopt_applies" : "reopt_rollbacks") += 1;
+  // A7 resync: invalidate in-flight request/grant traffic from the old
+  // table regime and rebuild both views from ground truth, exactly as the
+  // auditor's recovery path does.
+  return resync_views();
 }
 
 void TdmNetwork::apply_request(NodeId u, NodeId v, bool value) {
@@ -280,6 +334,9 @@ void TdmNetwork::on_slot_tick() {
       }
     }
     counters().counter("slot_bytes") += sent;
+    if (reopt_ && sent > 0) {
+      reopt_->observe(u, v, sent);
+    }
     if (starvation_slots_ > 0 && sent > 0) {
       progress_[u] = 1;
     }
@@ -400,15 +457,12 @@ void TdmNetwork::audit_control(std::vector<std::string>& out) {
   }
 }
 
-void TdmNetwork::resync_control() {
-  if (!plane_) {
-    return;
-  }
+std::size_t TdmNetwork::resync_views() {
   // Full out-of-band state exchange: both views are rebuilt from ground
   // truth (the VOQ occupancy on the NIC side, B* on the scheduler side).
   // Resync is lossless by construction -- it models a maintenance channel,
   // not the lossy request/grant wires.
-  plane_->begin_resync();
+  const std::size_t invalidated = plane_ ? plane_->begin_resync() : 0;
   const std::size_t n = params_.num_nodes;
   for (NodeId u = 0; u < n; ++u) {
     for (NodeId v = 0; v < n; ++v) {
@@ -416,10 +470,20 @@ void TdmNetwork::resync_control() {
         continue;
       }
       const bool truth = !voqs_[u].empty(v);
-      plane_->force_state(u, v, truth, sched_.is_established(u, v));
+      if (plane_) {
+        plane_->force_state(u, v, truth, sched_.is_established(u, v));
+      }
       sched_.set_request(u, v, truth);
     }
   }
+  return invalidated;
+}
+
+void TdmNetwork::resync_control() {
+  if (!plane_) {
+    return;
+  }
+  resync_views();
 }
 
 }  // namespace pmx

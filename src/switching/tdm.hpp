@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "control/reopt_service.hpp"
 #include "fabric/crossbar.hpp"
 #include "nic/control_plane.hpp"
 #include "nic/voq.hpp"
@@ -73,6 +74,15 @@ class TdmNetwork : public Network {
   [[nodiscard]] const Crossbar& crossbar() const { return xbar_; }
   [[nodiscard]] const Predictor& predictor() const { return *predictor_; }
 
+  /// The online re-optimization service, when params.reopt.enabled().
+  [[nodiscard]] const ReoptService* reopt() const { return reopt_.get(); }
+  /// NIC-side control-plane endpoints; non-null only with a lossy control
+  /// channel. Mutable access is for the epoch wraparound soak tests.
+  [[nodiscard]] ControlPlane* control_plane() { return plane_.get(); }
+  [[nodiscard]] const ReoptStats* reopt_stats() const override {
+    return reopt_ ? &reopt_->stats() : nullptr;
+  }
+
   /// Pending bytes still queued in the VOQs (for drain checks in tests).
   [[nodiscard]] std::uint64_t queued_bytes() const;
   /// Current input-buffer occupancy of node `v` (0 with unlimited buffers).
@@ -103,6 +113,15 @@ class TdmNetwork : public Network {
   /// Lease sweep: clear request bits whose NIC has been silent longer than
   /// the lease (the release message was lost) and revoke their grants.
   void lease_scan();
+  /// Rebuild the NIC and scheduler request views from ground truth (VOQ
+  /// occupancy / B*). Returns the number of in-flight control messages the
+  /// epoch bump invalidated (0 without a lossy control plane).
+  std::size_t resync_views();
+  /// The re-optimization service's apply hook: install the proposed tables
+  /// (pinned on apply, unpinned on rollback), flush learned state, and
+  /// resync both control views through the A7 path. Returns the invalidated
+  /// in-flight control-message count (disruption accounting).
+  std::uint64_t apply_reopt(const std::vector<BitMatrix>& tables, bool pinned);
 
   TdmScheduler sched_;
   Crossbar xbar_;
@@ -111,6 +130,8 @@ class TdmNetwork : public Network {
   /// layer is off (requests then drive R as lossless wires, the seed model).
   std::unique_ptr<ControlPlane> plane_;
   std::unique_ptr<Predictor> predictor_;
+  /// Online slot-table re-optimization service; nullptr when disabled.
+  std::unique_ptr<ReoptService> reopt_;
   Clock slot_clock_;
   Clock sl_clock_;
   std::size_t sl_units_ = 1;

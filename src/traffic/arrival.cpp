@@ -13,6 +13,8 @@ void ArrivalParams::validate() const {
   PMX_CHECK(rate_skew >= 0.0 && rate_skew < 1.0, "rate skew must be in [0,1)");
   PMX_CHECK(dest_skew >= 0.0 && dest_skew <= 1.0,
             "destination skew must be in [0,1]");
+  PMX_CHECK(hot_rotate_period >= TimeNs::zero(),
+            "negative hot-set rotation period");
   PMX_CHECK(mean_msg_bytes > 0, "empty messages carry no load");
   PMX_CHECK(duration > TimeNs::zero(), "injection window must be positive");
   if (process == Process::kOnOff) {
@@ -88,7 +90,16 @@ Workload open_loop(std::size_t n, const ArrivalParams& params,
       while (dst == u) {
         // Hot-set draw first so the uniform fallback stays unbiased.
         if (params.dest_skew > 0.0 && rng.chance(params.dest_skew)) {
-          dst = static_cast<NodeId>(rng.below(hot_count));
+          // Churn: the hot set's base node advances by hot_count every
+          // rotation period of arrival time -- a pure function of the
+          // arrival instant, so per-node streams stay independent.
+          std::size_t base = 0;
+          if (params.hot_rotate_period > TimeNs::zero()) {
+            const auto epoch = static_cast<std::size_t>(
+                at / params.hot_rotate_period.ns());
+            base = (epoch * hot_count) % n;
+          }
+          dst = static_cast<NodeId>((base + rng.below(hot_count)) % n);
         } else {
           dst = static_cast<NodeId>(rng.below(n));
         }

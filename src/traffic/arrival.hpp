@@ -41,6 +41,12 @@ struct ArrivalParams {
   /// small hot set (max(1, n/16) nodes) instead of a uniform destination.
   double dest_skew = 0.0;
 
+  /// Demand churn: rotate the hot set's base node every this many ns of
+  /// arrival time, so which destinations are hot changes deterministically
+  /// over the run (the re-optimization campaign's churn axis). Zero keeps
+  /// the hot set fixed at nodes [0, hot_count).
+  TimeNs hot_rotate_period{};
+
   /// Mean message size; each send uses exactly this size so offered load
   /// is controlled by the gaps alone.
   std::uint64_t mean_msg_bytes = 512;

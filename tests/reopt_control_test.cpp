@@ -1,0 +1,225 @@
+// Unit tests for the control-layer pieces of the re-optimization service
+// loop: the integer-EWMA demand estimator (including a 500-seed randomized
+// differential against a naive dense recount with lossy counter delivery)
+// and the budgeted greedy slot optimizer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitmatrix.hpp"
+#include "common/rng.hpp"
+#include "control/demand_estimator.hpp"
+#include "control/slot_optimizer.hpp"
+
+namespace pmx {
+namespace {
+
+TEST(DemandEstimator, EwmaConvergesToSteadySampleAndDecaysToZero) {
+  DemandEstimator est(4, /*ewma_shift=*/2);
+  for (int i = 0; i < 64; ++i) {
+    est.observe(0, 1, 1000);
+    est.roll();
+  }
+  // Steady-state EWMA equals the per-window sample (up to fixed-point
+  // truncation from the floor division of the signed gap).
+  EXPECT_NEAR(static_cast<double>(est.demand(0, 1)), 1000.0, 1.0);
+  for (int i = 0; i < 200; ++i) {
+    est.roll();  // empty windows: decay
+  }
+  EXPECT_EQ(est.demand(0, 1), 0u);
+  EXPECT_TRUE(est.snapshot().empty());
+}
+
+TEST(DemandEstimator, SnapshotIsIndexOrderedAndSkipsZeroPairs) {
+  DemandEstimator est(4, 1);
+  est.observe(2, 0, 4096);
+  est.observe(0, 3, 4096);
+  est.observe(1, 2, 4096);
+  est.roll();
+  const auto snap = est.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].src, 0u);
+  EXPECT_EQ(snap[0].dst, 3u);
+  EXPECT_EQ(snap[1].src, 1u);
+  EXPECT_EQ(snap[1].dst, 2u);
+  EXPECT_EQ(snap[2].src, 2u);
+  EXPECT_EQ(snap[2].dst, 0u);
+}
+
+TEST(DemandEstimator, ObservationOrderWithinWindowIsIrrelevant) {
+  DemandEstimator a(4, 3);
+  DemandEstimator b(4, 3);
+  a.observe(0, 1, 100);
+  a.observe(2, 3, 7);
+  a.observe(0, 1, 23);
+  b.observe(2, 3, 7);
+  b.observe(0, 1, 23);
+  b.observe(0, 1, 100);
+  a.roll();
+  b.roll();
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      EXPECT_EQ(a.raw(u, v), b.raw(u, v));
+    }
+  }
+}
+
+/// 500-seed randomized differential: the estimator against a naive dense
+/// recount that re-derives every EWMA from the full observation log. Each
+/// observation is delivered "lossily" -- dropped with seed-dependent
+/// probability before it reaches either implementation -- modeling lost
+/// counter updates on the control channel: both sides must agree on
+/// whatever subset actually arrived.
+TEST(DemandEstimator, RandomizedDifferentialAgainstNaiveRecount) {
+  constexpr std::size_t kSeeds = 500;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    Rng rng(seed * 0x9E3779B97F4A7C15ull);
+    const std::size_t n = 2 + rng.below(6);
+    const auto shift = static_cast<std::uint32_t>(1 + rng.below(8));
+    const double drop = rng.uniform() * 0.5;
+    DemandEstimator est(n, shift);
+
+    // windows[w] holds the dense per-pair byte totals that survived loss.
+    std::vector<std::vector<std::uint64_t>> windows;
+    const std::size_t rolls = 1 + rng.below(20);
+    for (std::size_t w = 0; w < rolls; ++w) {
+      std::vector<std::uint64_t> dense(n * n, 0);
+      const std::size_t events = rng.below(40);
+      for (std::size_t e = 0; e < events; ++e) {
+        const NodeId u = static_cast<NodeId>(rng.below(n));
+        const NodeId v = static_cast<NodeId>(rng.below(n));
+        const std::uint64_t bytes = rng.below(1u << 20);
+        if (rng.chance(drop)) {
+          continue;  // counter update lost in transit
+        }
+        est.observe(u, v, bytes);
+        dense[u * n + v] += bytes;
+      }
+      est.roll();
+      windows.push_back(std::move(dense));
+    }
+
+    // Naive recount: replay the surviving log through the published EWMA
+    // definition, one pair at a time.
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        std::int64_t ewma = 0;
+        for (const auto& dense : windows) {
+          const auto target =
+              static_cast<std::int64_t>(dense[u * n + v]
+                                        << DemandEstimator::kFracBits);
+          ewma += (target - ewma) >> shift;
+        }
+        ASSERT_EQ(est.raw(u, v), static_cast<std::uint64_t>(ewma))
+            << "seed " << seed << " pair (" << u << "," << v << ")";
+      }
+    }
+  }
+}
+
+SlotOptimizer::Options opt_options(std::size_t n, std::size_t k) {
+  SlotOptimizer::Options o;
+  o.num_nodes = n;
+  o.num_slots = k;
+  o.change_penalty = 4;
+  o.work_budget = 64;
+  return o;
+}
+
+TEST(SlotOptimizer, CoversDisjointDemandInOneSlot) {
+  const SlotOptimizer opt(opt_options(4, 2));
+  std::vector<DemandEstimator::Demand> demand{
+      {0, 1, 100}, {1, 2, 90}, {2, 3, 80}, {3, 0, 70}};
+  const auto p = opt.solve(demand, {});
+  EXPECT_EQ(p.covered, 340u);
+  // A full permutation fits one partial-permutation table.
+  for (const auto& d : demand) {
+    EXPECT_TRUE(p.tables[0].get(d.src, d.dst));
+  }
+  EXPECT_TRUE(p.tables[1].none());
+}
+
+TEST(SlotOptimizer, PortConflictsSpillIntoLaterSlots) {
+  const SlotOptimizer opt(opt_options(4, 3));
+  // Three sources all want destination 0: one crosspoint per slot.
+  std::vector<DemandEstimator::Demand> demand{
+      {1, 0, 100}, {2, 0, 90}, {3, 0, 80}};
+  const auto p = opt.solve(demand, {});
+  EXPECT_EQ(p.covered, 270u);
+  EXPECT_TRUE(p.tables[0].get(1, 0));
+  EXPECT_TRUE(p.tables[1].get(2, 0));
+  EXPECT_TRUE(p.tables[2].get(3, 0));
+}
+
+TEST(SlotOptimizer, CrosspointStabilityKeepsLivePairsInTheirHomeSlot) {
+  const SlotOptimizer opt(opt_options(4, 2));
+  // (0, 1) currently lives in slot 1; the proposal must keep it there even
+  // though greedy placement alone would pick slot 0.
+  std::vector<BitMatrix> current(2, BitMatrix(4));
+  current[1].set(0, 1);
+  std::vector<DemandEstimator::Demand> demand{{0, 1, 100}, {0, 2, 50}};
+  const auto p = opt.solve(demand, current);
+  EXPECT_TRUE(p.tables[1].get(0, 1));
+  EXPECT_TRUE(p.tables[0].get(0, 2));
+  // Only the new pair costs a change.
+  EXPECT_EQ(p.changed, 1u);
+}
+
+TEST(SlotOptimizer, WorkBudgetTruncatesTheTail) {
+  SlotOptimizer::Options o = opt_options(8, 1);
+  o.work_budget = 2;
+  const SlotOptimizer opt(o);
+  std::vector<DemandEstimator::Demand> demand{
+      {0, 1, 10}, {1, 2, 90}, {2, 3, 80}, {3, 4, 70}};
+  const auto p = opt.solve(demand, {});
+  EXPECT_EQ(p.pairs_examined, 2u);
+  // The two heaviest pairs survive the cut, index order breaks the tie.
+  EXPECT_EQ(p.covered, 170u);
+  EXPECT_TRUE(p.tables[0].get(1, 2));
+  EXPECT_TRUE(p.tables[0].get(2, 3));
+  EXPECT_FALSE(p.tables[0].get(0, 1));
+}
+
+TEST(SlotOptimizer, SolveIsDeterministic) {
+  const SlotOptimizer opt(opt_options(6, 3));
+  Rng rng(77);
+  std::vector<DemandEstimator::Demand> demand;
+  for (int i = 0; i < 24; ++i) {
+    demand.push_back({static_cast<NodeId>(rng.below(6)),
+                      static_cast<NodeId>(rng.below(6)), rng.below(1000)});
+  }
+  std::vector<BitMatrix> current(3, BitMatrix(6));
+  current[0].set(1, 4);
+  current[2].set(3, 2);
+  const auto a = opt.solve(demand, current);
+  const auto b = opt.solve(demand, current);
+  EXPECT_EQ(a.covered, b.covered);
+  EXPECT_EQ(a.changed, b.changed);
+  EXPECT_EQ(a.score, b.score);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(a.tables[s], b.tables[s]);
+  }
+}
+
+TEST(SlotOptimizer, ScoreAccountsChangePenaltyAgainstBaseline) {
+  const SlotOptimizer opt(opt_options(4, 1));
+  std::vector<BitMatrix> current(1, BitMatrix(4));
+  current[0].set(0, 1);
+  std::vector<DemandEstimator::Demand> demand{{0, 1, 100}};
+  // Stable demand: proposal re-places the live crosspoint, zero changes.
+  const auto stable = opt.solve(demand, current);
+  EXPECT_EQ(stable.changed, 0u);
+  EXPECT_EQ(stable.score, 100);
+  EXPECT_EQ(opt.baseline_score(demand, current), 100);
+  // Shifted demand: one add plus one drop, each costing the penalty.
+  std::vector<DemandEstimator::Demand> moved{{2, 3, 100}};
+  const auto shifted = opt.solve(moved, current);
+  EXPECT_EQ(shifted.changed, 2u);
+  EXPECT_EQ(shifted.score, 100 - 2 * 4);
+  EXPECT_EQ(opt.baseline_score(moved, current), 0);
+}
+
+}  // namespace
+}  // namespace pmx

@@ -89,6 +89,7 @@ LAYERS: tuple[tuple[str, ...], ...] = (
     ("common",),
     ("sim",),
     ("sched", "fabric", "predictor", "fault"),
+    ("control",),
     ("nic", "traffic", "compiled"),
     ("switching",),
     ("core",),
